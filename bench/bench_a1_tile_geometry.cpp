@@ -1,0 +1,43 @@
+// A1 — ablation: UDG tile geometry. Sweeps (side, r0) with reach = 1 - r0
+// over the worst-case-feasible set and reports the measured density
+// threshold lambda_s of each spec — showing where the shipped strict()
+// preset sits and what the guarantee costs relative to the paper preset.
+#include "bench_common.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/tiles/good_prob.hpp"
+
+using namespace sens;
+using namespace sens::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse(argc, argv);
+  env.header("A1 / ablation (UDG tile geometry)",
+             "design choice: strict() = (side 0.84, r0 0.35, reach 0.65)");
+
+  const std::size_t trials = 2500 * env.scale;
+  const double target = 0.593;
+
+  Table t({"side", "r0", "reach=1-r0", "feasible (Claim 2.1)", "lambda_s (P(good)=0.593)"});
+  for (const double r0 : {0.25, 0.30, 0.35, 0.40, 0.45}) {
+    for (const double side : {0.70, 0.78, 0.84, 0.92, 1.00, 1.10}) {
+      const UdgTileSpec spec = UdgTileSpec::custom(side, r0, 1.0 - r0);
+      const bool ok = spec.guarantees_paths();
+      std::string ls = "-";
+      if (ok) {
+        ls = Table::fmt(find_udg_lambda_threshold(spec, target, trials,
+                                                  mix_seed(env.seed, static_cast<std::uint64_t>(r0 * 1e4) +
+                                                                         static_cast<std::uint64_t>(side * 1e2)),
+                                                  0.5, 128.0, 18),
+                        4);
+      }
+      t.add_row({Table::fmt(side, 3), Table::fmt(r0, 3), Table::fmt(1.0 - r0, 3),
+                 ok ? "yes" : "no", ls});
+    }
+  }
+  env.emit("measured lambda_s over the guaranteed-geometry family", t);
+
+  std::cout << "reading: larger tiles lower the threshold until the relay lens "
+               "shrinks past feasibility;\nthe shipped strict() preset is near the sweet spot.\n\n";
+  env.footer();
+  return 0;
+}

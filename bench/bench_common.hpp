@@ -1,0 +1,52 @@
+// Shared plumbing for the experiment binaries: every bench prints a header
+// naming the experiment and the paper claim it regenerates, then one or more
+// markdown tables (the rows EXPERIMENTS.md records). `--full` multiplies
+// replicate counts by 10; `--seed` reseeds the whole experiment; `--csv`
+// additionally dumps tables as CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "sens/support/cli.hpp"
+#include "sens/support/table.hpp"
+#include "sens/support/timer.hpp"
+
+namespace sens::bench {
+
+struct BenchEnv {
+  std::size_t scale = 1;     ///< replicate multiplier (10 with --full)
+  std::uint64_t seed = 0x5EB5;
+  bool csv = false;
+  Timer timer;
+
+  static BenchEnv parse(int argc, char** argv) {
+    const Cli cli(argc, argv);
+    BenchEnv env;
+    env.scale = cli.has("full") ? 10 : 1;
+    env.scale = static_cast<std::size_t>(cli.get("scale", static_cast<long>(env.scale)));
+    env.seed = cli.get("seed", static_cast<unsigned long long>(env.seed));
+    env.csv = cli.has("csv");
+    return env;
+  }
+
+  void header(const std::string& id, const std::string& claim) const {
+    std::cout << "\n### " << id << "\n";
+    std::cout << "paper claim: " << claim << "\n";
+    std::cout << "(seed=" << seed << ", scale=" << scale << ")\n\n";
+  }
+
+  void emit(const std::string& title, const Table& table) const {
+    std::cout << "**" << title << "**\n\n";
+    table.print(std::cout);
+    if (csv) std::cout << "\ncsv:\n" << table.csv();
+    std::cout << "\n";
+  }
+
+  void footer() const {
+    std::cout << "elapsed: " << Table::fmt(timer.seconds(), 3) << " s\n";
+  }
+};
+
+}  // namespace sens::bench

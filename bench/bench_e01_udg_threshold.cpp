@@ -1,0 +1,48 @@
+// E1 — Theorem 2.2: the density threshold lambda_s of UDG-SENS(2, lambda).
+//
+// The paper claims P(tile good) >= 0.593 at lambda_s = 1.568 for its 4/3
+// tile. DESIGN.md §1.2 shows that number cannot follow from the stated
+// construction; this bench measures the honest P(good)(lambda) curve for
+// both the paper-literal preset and the strict preset, and locates the
+// measured lambda_s where the curve crosses the site-percolation target.
+#include "bench_common.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/tiles/good_prob.hpp"
+
+using namespace sens;
+using namespace sens::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse(argc, argv);
+  env.header("E1 / Theorem 2.2 (UDG-SENS density threshold)",
+             "lambda_s = 1.568 makes P(tile good) >= 0.593 (site p_c)");
+
+  const std::size_t trials = 4000 * env.scale;
+  const double target = 0.593;
+
+  for (const UdgTileSpec& spec : {UdgTileSpec::paper(), UdgTileSpec::strict()}) {
+    Table t({"lambda", "P(good)", "wilson95", "expected pts/tile"});
+    for (const double lambda : {1.0, 1.568, 3.0, 6.0, 10.0, 15.0, 20.0, 30.0}) {
+      const Proportion p = udg_good_probability(spec, lambda, trials, mix_seed(env.seed, static_cast<std::uint64_t>(lambda * 1000)));
+      t.add_row({Table::fmt(lambda), Table::fmt(p.estimate()),
+                 "[" + Table::fmt(p.wilson_low(), 3) + ", " + Table::fmt(p.wilson_high(), 3) + "]",
+                 Table::fmt(lambda * spec.side * spec.side, 4)});
+    }
+    env.emit("P(good) vs lambda — spec `" + spec.name + "` (side=" + Table::fmt(spec.side, 4) +
+                 ", r0=" + Table::fmt(spec.rep_radius, 3) + ", reach=" + Table::fmt(spec.reach, 3) + ")",
+             t);
+
+    const double lambda_s = find_udg_lambda_threshold(spec, target, trials, env.seed + 1);
+    Table s({"quantity", "paper", "measured"});
+    s.add_row({"lambda_s (P(good) = 0.593)", spec.name == "paper" ? "1.568" : "n/a (our preset)",
+               Table::fmt(lambda_s, 4)});
+    s.add_row({"P(good) at lambda = 1.568", ">= 0.593",
+               Table::fmt(udg_good_probability(spec, 1.568, trials, env.seed + 2).estimate(), 4)});
+    s.add_row({"worst-case 3-hop guarantee", "claimed (Claim 2.1)",
+               spec.guarantees_paths() ? "holds" : "does not hold"});
+    env.emit("threshold — spec `" + spec.name + "`", s);
+  }
+
+  env.footer();
+  return 0;
+}

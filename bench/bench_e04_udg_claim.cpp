@@ -1,0 +1,49 @@
+// E4 — Claim 2.1: adjacent good UDG tiles are joined by a 3-hop relay path
+// with every edge <= 1 and stretch constant c_u <= 3.
+//
+// For the strict preset this is a theorem (100% realization, worst edge
+// <= 1); for the paper-literal preset the bench *measures* the violation
+// rate — the quantitative gap DESIGN.md §1.1 predicts.
+#include "bench_common.hpp"
+#include "sens/core/metrics.hpp"
+#include "sens/core/udg_sens.hpp"
+
+using namespace sens;
+using namespace sens::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse(argc, argv);
+  env.header("E4 / Claim 2.1 (UDG inter-tile relay paths)",
+             "3-hop rep-to-rep path exists, each edge <= 1, c_u <= 3");
+
+  const int tiles = static_cast<int>(24 * (env.scale > 1 ? 2 : 1));
+
+  Table t({"spec", "lambda", "adj good pairs", "realized", "worst edge", "mean stretch",
+           "worst stretch", "missing edges"});
+  struct Cfg {
+    UdgTileSpec spec;
+    double lambda;
+  };
+  for (const Cfg& cfg : {Cfg{UdgTileSpec::strict(), 25.0}, Cfg{UdgTileSpec::paper(), 10.0},
+                         Cfg{UdgTileSpec::paper(), 20.0}}) {
+    const UdgSensResult r = build_udg_sens(cfg.spec, cfg.lambda, tiles, tiles, env.seed);
+    const ClaimCheck check = check_adjacent_tile_paths(r.overlay);
+    t.add_row({cfg.spec.name, Table::fmt(cfg.lambda, 3),
+               Table::fmt_int(static_cast<long long>(check.adjacent_good_pairs)),
+               Table::fmt(check.realized_fraction(), 4), Table::fmt(check.worst_edge_length, 4),
+               Table::fmt(check.mean_stretch, 4), Table::fmt(check.worst_stretch, 4),
+               Table::fmt_int(static_cast<long long>(r.overlay.edges_missing))});
+  }
+  env.emit("relay-path realization over adjacent good tile pairs", t);
+
+  Table s({"quantity", "paper", "measured (strict spec)"});
+  const UdgSensResult r = build_udg_sens(UdgTileSpec::strict(), 25.0, tiles, tiles, env.seed + 1);
+  const ClaimCheck check = check_adjacent_tile_paths(r.overlay);
+  s.add_row({"path realization", "always (Claim 2.1)", Table::fmt(check.realized_fraction(), 4)});
+  s.add_row({"max edge length", "<= 1", Table::fmt(check.worst_edge_length, 4)});
+  s.add_row({"c_u (path len / rep distance)", "<= 3", Table::fmt(check.worst_stretch, 4)});
+  env.emit("claim vs measurement", s);
+
+  env.footer();
+  return 0;
+}

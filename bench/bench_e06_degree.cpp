@@ -1,0 +1,49 @@
+// E6 — Property P1 (sparsity): the SENS overlays have maximum degree 4
+// (representatives 4, relays 2, shared-role nodes still <= 4).
+#include "bench_common.hpp"
+#include "sens/core/metrics.hpp"
+#include "sens/core/nn_sens.hpp"
+#include "sens/core/udg_sens.hpp"
+
+using namespace sens;
+using namespace sens::bench;
+
+namespace {
+void add_rows(Table& t, const std::string& model, const DegreeReport& deg) {
+  t.add_row({model, Table::fmt_int(static_cast<long long>(deg.nodes)),
+             Table::fmt(deg.mean_degree, 4), Table::fmt_int(static_cast<long long>(deg.max_degree)),
+             Table::fmt_int(static_cast<long long>(deg.histogram[1])),
+             Table::fmt_int(static_cast<long long>(deg.histogram[2])),
+             Table::fmt_int(static_cast<long long>(deg.histogram[3])),
+             Table::fmt_int(static_cast<long long>(deg.histogram[4]))});
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse(argc, argv);
+  env.header("E6 / Property P1 (sparsity)", "overlay maximum degree = 4");
+
+  Table t({"model", "overlay nodes", "mean deg", "max deg", "#deg1", "#deg2", "#deg3", "#deg4"});
+
+  const int udg_tiles = env.scale > 1 ? 96 : 48;
+  const UdgSensResult udg = build_udg_sens(UdgTileSpec::strict(), 25.0, udg_tiles, udg_tiles, env.seed);
+  add_rows(t, "UDG-SENS (strict, lambda=25)", overlay_degree_report(udg.overlay));
+
+  const UdgSensResult udg_p = build_udg_sens(UdgTileSpec::paper(), 12.0, udg_tiles, udg_tiles, env.seed + 1);
+  add_rows(t, "UDG-SENS (paper, lambda=12)", overlay_degree_report(udg_p.overlay));
+
+  const int nn_tiles = env.scale > 1 ? 20 : 12;
+  const NnSensResult nn = build_nn_sens(NnTileSpec::paper(), nn_tiles, nn_tiles, env.seed + 2);
+  add_rows(t, "NN-SENS (a=0.893, k=188)", overlay_degree_report(nn.overlay));
+
+  env.emit("overlay degree distribution", t);
+
+  // For contrast: the base graphs these overlays were carved from.
+  Table base({"base graph", "mean degree"});
+  base.add_row({"UDG(2, 25) (strict window)", Table::fmt(25.0 * 3.14159265, 4)});
+  base.add_row({"NN(2, 188)", ">= 188"});
+  env.emit("underlying interconnection density (for contrast)", base);
+
+  env.footer();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E7 — Theorem 3.2 / Property P2: constant stretch with exponential tails.
+//
+// Samples rep pairs of the giant SENS component and reports Euclidean
+// length stretch, hop-per-lattice-distance ratios, and the exceedance tail
+// P(hops > alpha * D) whose exponential decay Theorem 3.2 asserts.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sens/core/metrics.hpp"
+#include "sens/core/nn_sens.hpp"
+#include "sens/core/udg_sens.hpp"
+#include "sens/support/stats.hpp"
+
+using namespace sens;
+using namespace sens::bench;
+
+namespace {
+
+void stretch_report(BenchEnv& env, const std::string& model, const Overlay& overlay,
+                    std::size_t pairs) {
+  const auto samples = sample_overlay_stretch(overlay, pairs, env.seed + 7);
+  RunningStats len_stretch, hop_ratio;
+  std::vector<double> ratios, lens;
+  for (const auto& s : samples) {
+    if (s.lattice < 3) continue;
+    len_stretch.add(s.length_stretch());
+    hop_ratio.add(s.hop_per_lattice());
+    ratios.push_back(s.hop_per_lattice());
+    lens.push_back(s.length_stretch());
+  }
+  Table t({"metric", "mean", "p95", "max"});
+  if (!ratios.empty()) {
+    t.add_row({"Euclidean length stretch (path len / straight line)",
+               Table::fmt(len_stretch.mean(), 4), Table::fmt(quantile(lens, 0.95), 4),
+               Table::fmt(len_stretch.max(), 4)});
+    t.add_row({"overlay hops per lattice distance D",
+               Table::fmt(hop_ratio.mean(), 4), Table::fmt(quantile(ratios, 0.95), 4),
+               Table::fmt(hop_ratio.max(), 4)});
+  }
+  env.emit(model + " — stretch over " + Table::fmt_int(static_cast<long long>(ratios.size())) +
+               " rep pairs",
+           t);
+
+  // Exceedance tail: fraction of pairs with hops > alpha * D.
+  Table tail({"alpha", "P(hops > alpha*D)"});
+  for (const double alpha : {2.0, 2.5, 3.0, 3.5, 4.0, 5.0}) {
+    std::size_t exceed = 0;
+    for (const double r : ratios) exceed += r > alpha;
+    tail.add_row({Table::fmt(alpha, 3),
+                  Table::fmt(static_cast<double>(exceed) / std::max<std::size_t>(1, ratios.size()), 4)});
+  }
+  env.emit(model + " — exceedance tail (Theorem 3.2: exponential decay)", tail);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse(argc, argv);
+  env.header("E7 / Theorem 3.2, P2 (constant stretch)",
+             "d_SENS(x,y) <= alpha * D(x,y) except with exponentially small probability");
+
+  const int udg_tiles = env.scale > 1 ? 96 : 56;
+  const UdgSensResult udg = build_udg_sens(UdgTileSpec::strict(), 25.0, udg_tiles, udg_tiles, env.seed);
+  stretch_report(env, "UDG-SENS (strict, lambda=25)", udg.overlay, 300 * env.scale);
+
+  const int nn_tiles = env.scale > 1 ? 20 : 12;
+  const NnSensResult nn = build_nn_sens(NnTileSpec::paper(), nn_tiles, nn_tiles, env.seed + 1);
+  stretch_report(env, "NN-SENS (a=0.893, k=188)", nn.overlay, 150 * env.scale);
+
+  env.footer();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E9 — Theorem 3.3 / Property P3: coverage. The probability that an l x l
+// box contains no SENS node decays exponentially with l, and the decay
+// sharpens as the density grows (Section 3.2's monotonicity argument).
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/core/coverage.hpp"
+#include "sens/core/udg_sens.hpp"
+#include "sens/support/stats.hpp"
+
+using namespace sens;
+using namespace sens::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse(argc, argv);
+  env.header("E9 / Theorem 3.3, P3 (coverage)",
+             "P(|B(l) ∩ SENS| = 0) <= c l^2 e^{-c' l}; decay sharpens with lambda");
+
+  const int tiles = env.scale > 1 ? 112 : 64;
+  const std::vector<int> block_sizes{1, 2, 3, 4, 5, 6, 8};
+
+  Table t({"lambda", "m=1", "m=2", "m=3", "m=4", "m=5", "m=6", "m=8", "fitted decay rate c'"});
+  for (const double lambda : {21.0, 25.0, 30.0}) {
+    const UdgSensResult r = build_udg_sens(UdgTileSpec::strict(), lambda, tiles, tiles,
+                                           mix_seed(env.seed, static_cast<std::uint64_t>(lambda)));
+    const auto probs = empty_block_probability(r.overlay, block_sizes);
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < block_sizes.size(); ++i) {
+      if (probs[i] > 0.0 && probs[i] < 1.0) {
+        xs.push_back(block_sizes[i]);
+        ys.push_back(probs[i]);
+      }
+    }
+    const LineFit fit = fit_exponential(xs, ys);
+    std::vector<std::string> row{Table::fmt(lambda, 4)};
+    for (const double p : probs) row.push_back(Table::fmt(p, 3));
+    row.push_back(Table::fmt(-fit.slope, 4) + " (r2=" + Table::fmt(fit.r2, 3) + ")");
+    t.add_row(std::move(row));
+  }
+  env.emit("empty-block probability vs block side m (tiles), UDG-SENS strict", t);
+
+  // Euclidean boxes (the literal Theorem 3.3 statement).
+  Table e({"lambda", "l=0.5", "l=1", "l=2", "l=3", "l=4.5"});
+  for (const double lambda : {21.0, 30.0}) {
+    const UdgSensResult r = build_udg_sens(UdgTileSpec::strict(), lambda, tiles, tiles,
+                                           mix_seed(env.seed, static_cast<std::uint64_t>(lambda) + 7));
+    std::vector<std::string> row{Table::fmt(lambda, 4)};
+    for (const double ell : {0.5, 1.0, 2.0, 3.0, 4.5}) {
+      const Proportion p = empty_box_probability(r.overlay, ell, 4000 * env.scale, env.seed + 5);
+      row.push_back(Table::fmt(p.estimate(), 4));
+    }
+    e.add_row(std::move(row));
+  }
+  env.emit("empty Euclidean-box probability vs box side l", e);
+
+  env.footer();
+  return 0;
+}

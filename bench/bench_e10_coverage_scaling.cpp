@@ -1,0 +1,61 @@
+// E10 — Corollary 3.4: boxes of side l >= c log n miss the SENS subgraph
+// with probability < 1/n. Extracts c from the E9 exponential fit and
+// verifies the implied box sides on held-out windows.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sens/core/coverage.hpp"
+#include "sens/core/udg_sens.hpp"
+#include "sens/support/stats.hpp"
+
+using namespace sens;
+using namespace sens::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse(argc, argv);
+  env.header("E10 / Corollary 3.4 (coverage scaling)",
+             "l >= c log n  =>  P(B(l) misses SENS) < 1/n");
+
+  const int tiles = env.scale > 1 ? 112 : 72;
+  const double lambda = 25.0;
+  const UdgSensResult fit_run =
+      build_udg_sens(UdgTileSpec::strict(), lambda, tiles, tiles, env.seed);
+
+  // Fit P_empty(m) ~ A e^{-c' m} on tile blocks.
+  const std::vector<int> sizes{1, 2, 3, 4, 5, 6};
+  const auto probs = empty_block_probability(fit_run.overlay, sizes);
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (probs[i] > 0.0 && probs[i] < 1.0) {
+      xs.push_back(sizes[i]);
+      ys.push_back(probs[i]);
+    }
+  }
+  const LineFit fit = fit_exponential(xs, ys);
+  const double cprime = -fit.slope;
+  const double amp = std::exp(fit.intercept);
+
+  Table f({"fit quantity", "value"});
+  f.add_row({"decay rate c' (per tile of side 0.84)", Table::fmt(cprime, 4)});
+  f.add_row({"amplitude A", Table::fmt(amp, 4)});
+  f.add_row({"r^2 of log-linear fit", Table::fmt(fit.r2, 4)});
+  env.emit("exponential fit of the empty-block probability", f);
+
+  // Solve A e^{-c' m} <= 1/n  =>  m >= (log n + log A) / c'.
+  Table t({"n", "required block side m(n)", "implied l = m * a", "measured miss prob",
+           "target 1/n"});
+  const UdgSensResult held_out =
+      build_udg_sens(UdgTileSpec::strict(), lambda, tiles, tiles, env.seed + 1);
+  for (const double n : {10.0, 100.0, 1000.0}) {
+    const int m = static_cast<int>(std::ceil((std::log(n) + std::log(std::max(amp, 1.0))) / cprime));
+    const std::vector<int> one{m};
+    const double miss = empty_block_probability(held_out.overlay, one)[0];
+    t.add_row({Table::fmt(n, 4), Table::fmt_int(m), Table::fmt(m * 0.84, 4),
+               Table::fmt(miss, 4), Table::fmt(1.0 / n, 4)});
+  }
+  env.emit("held-out verification of Corollary 3.4 (miss prob should be < 1/n)", t);
+
+  env.footer();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E11 — Section 4.2 routing: the Angel et al. x-y router's probe budget is
+// a constant times the shortest path, both on iid percolated grids and on
+// coupled SENS goodness grids.
+#include "bench_common.hpp"
+#include "sens/core/sens_router.hpp"
+#include "sens/core/udg_sens.hpp"
+#include "sens/perc/chemical.hpp"
+#include "sens/perc/clusters.hpp"
+#include "sens/perc/mesh_router.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/support/stats.hpp"
+
+using namespace sens;
+using namespace sens::bench;
+
+namespace {
+
+struct RoutingRow {
+  RunningStats probes_per_sp;  // probes / chemical shortest path
+  RunningStats hops_per_sp;    // packet hops / chemical shortest path
+  std::size_t failures = 0;
+};
+
+RoutingRow measure(const SiteGrid& grid, std::size_t pairs, std::uint64_t seed) {
+  RoutingRow row;
+  const ClusterLabels labels(grid);
+  const MeshRouter router(grid);
+  std::vector<Site> giant;
+  for (std::size_t i = 0; i < grid.num_sites(); ++i)
+    if (labels.in_largest(grid.site_at(i))) giant.push_back(grid.site_at(i));
+  if (giant.size() < 2) return row;
+  Rng rng = Rng::stream(seed, 0x40e7e);
+  for (std::size_t t = 0; t < pairs; ++t) {
+    const Site a = giant[rng.uniform_index(giant.size())];
+    const Site b = giant[rng.uniform_index(giant.size())];
+    if (lattice_distance(a, b) < 8) continue;
+    const MeshRoute route = router.route(a, b);
+    if (!route.success) {
+      ++row.failures;
+      continue;
+    }
+    // Chemical shortest path as the baseline the theorem compares against.
+    const auto dists = chemical_distances(grid, a);
+    const double sp = dists[grid.index(b)];
+    row.probes_per_sp.add(static_cast<double>(route.probes) / sp);
+    row.hops_per_sp.add(static_cast<double>(route.hops()) / sp);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse(argc, argv);
+  env.header("E11 / Section 4.2 (distributed routing overhead)",
+             "expected probes = O(shortest path) [Angel et al. 2005]");
+
+  const std::int32_t n = env.scale > 1 ? 160 : 96;
+  const std::size_t pairs = 60 * env.scale;
+
+  Table t({"grid", "pairs ok", "failures", "probes/SP mean", "probes/SP max", "hops/SP mean"});
+  for (const double p : {0.65, 0.70, 0.80, 0.90}) {
+    const SiteGrid grid = SiteGrid::random(n, n, p, mix_seed(env.seed, static_cast<std::uint64_t>(p * 1e4)));
+    const RoutingRow row = measure(grid, pairs, env.seed + 11);
+    t.add_row({"iid p=" + Table::fmt(p, 3),
+               Table::fmt_int(static_cast<long long>(row.probes_per_sp.count())),
+               Table::fmt_int(static_cast<long long>(row.failures)),
+               Table::fmt(row.probes_per_sp.mean(), 4), Table::fmt(row.probes_per_sp.max(), 4),
+               Table::fmt(row.hops_per_sp.mean(), 4)});
+  }
+  // Coupled SENS grid (tile goodness in place of coin flips).
+  const int tiles = env.scale > 1 ? 128 : 72;
+  const UdgSensResult r = build_udg_sens(UdgTileSpec::strict(), 25.0, tiles, tiles, env.seed + 1);
+  const RoutingRow row = measure(r.overlay.sites, pairs, env.seed + 12);
+  t.add_row({"coupled UDG-SENS (P(good)~0.68)",
+             Table::fmt_int(static_cast<long long>(row.probes_per_sp.count())),
+             Table::fmt_int(static_cast<long long>(row.failures)),
+             Table::fmt(row.probes_per_sp.mean(), 4), Table::fmt(row.probes_per_sp.max(), 4),
+             Table::fmt(row.hops_per_sp.mean(), 4)});
+  env.emit("probe overhead relative to the chemical shortest path", t);
+
+  env.footer();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E13 — Property P4 / Figure 7: the distributed construction protocol.
+// Measures message and energy budgets, verifies bit-exactness against the
+// centralized builder for the strict spec, and quantifies the NN protocol's
+// occupancy-count agreement (DESIGN.md: the paper leaves local occupancy
+// counting unspecified).
+#include "bench_common.hpp"
+#include "sens/core/nn_sens.hpp"
+#include "sens/core/udg_sens.hpp"
+#include "sens/geograph/knn.hpp"
+#include "sens/geograph/udg.hpp"
+#include "sens/runtime/construct.hpp"
+
+using namespace sens;
+using namespace sens::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse(argc, argv);
+  env.header("E13 / Property P4, Figure 7 (distributed construction)",
+             "network forms with location info + immediate-neighbor messages only");
+
+  // --- UDG protocol ---
+  {
+    const UdgTileSpec spec = UdgTileSpec::strict();
+    Table t({"window", "nodes", "elect msgs/node", "ctrl msgs/node", "energy/node (b=2)",
+             "good tiles == centralized", "edges == centralized"});
+    for (const int tiles : {6, 10, 14}) {
+      const UdgSensResult central = build_udg_sens(spec, 25.0, tiles, tiles, env.seed + tiles);
+      const GeoGraph udg = build_udg(central.points.points, central.points.window, 1.0);
+      const ConstructOutcome proto = run_udg_construction(udg, spec, central.classification.window);
+
+      bool good_eq = proto.tile_good.size() == central.classification.good.size();
+      for (std::size_t i = 0; good_eq && i < proto.tile_good.size(); ++i)
+        good_eq = proto.tile_good[i] == central.classification.good[i];
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> cen;
+      for (const auto& [u, v] : central.overlay.geo.graph.edge_list()) {
+        auto a = central.overlay.base_index[u];
+        auto b = central.overlay.base_index[v];
+        if (a > b) std::swap(a, b);
+        cen.emplace_back(a, b);
+      }
+      std::sort(cen.begin(), cen.end());
+
+      const double n = static_cast<double>(udg.size());
+      t.add_row({Table::fmt_int(tiles) + "x" + Table::fmt_int(tiles),
+                 Table::fmt_int(static_cast<long long>(udg.size())),
+                 Table::fmt(proto.election_messages / n, 4),
+                 Table::fmt(proto.control_messages / n, 4), Table::fmt(proto.energy / n, 4),
+                 good_eq ? "yes" : "NO", proto.edges == cen ? "yes" : "NO"});
+    }
+    env.emit("UDG-SENS protocol (strict spec, lambda = 25)", t);
+  }
+
+  // --- NN protocol ---
+  {
+    const NnTileSpec spec = NnTileSpec::paper();
+    const int tiles = env.scale > 1 ? 8 : 5;
+    const NnSensResult central = build_nn_sens(spec, tiles, tiles, env.seed + 77);
+    const GeoGraph knn = build_knn_graph(central.points.points, spec.k());
+    const ConstructOutcome proto = run_nn_construction(knn, spec, central.classification.window);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < proto.tile_good.size(); ++i)
+      agree += proto.tile_good[i] == central.classification.good[i];
+    Table t({"quantity", "value"});
+    t.add_row({"nodes", Table::fmt_int(static_cast<long long>(knn.size()))});
+    t.add_row({"goodness agreement with centralized",
+               Table::fmt(static_cast<double>(agree) / proto.tile_good.size(), 4)});
+    t.add_row({"good tiles (protocol / centralized)",
+               Table::fmt_int(static_cast<long long>(proto.good_count())) + " / " +
+                   Table::fmt_int(static_cast<long long>(central.classification.good_count()))});
+    t.add_row({"election messages / node",
+               Table::fmt(static_cast<double>(proto.election_messages) / knn.size(), 4)});
+    t.add_row({"control messages / node",
+               Table::fmt(static_cast<double>(proto.control_messages) / knn.size(), 4)});
+    t.add_row({"failed connects", Table::fmt_int(static_cast<long long>(proto.failed_connects))});
+    env.emit("NN-SENS protocol (a = 0.893, k = 188) — occupancy counted from 1-hop PRESENT", t);
+  }
+
+  env.footer();
+  return 0;
+}

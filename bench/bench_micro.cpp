@@ -1,0 +1,141 @@
+// M — google-benchmark microbenchmarks for the computational kernels:
+// point-process sampling, graph builders, spatial queries, cluster labeling,
+// tile classification, overlay construction and mesh routing.
+#include <benchmark/benchmark.h>
+
+#include "sens/core/udg_sens.hpp"
+#include "sens/geograph/knn.hpp"
+#include "sens/geograph/point_set.hpp"
+#include "sens/geograph/udg.hpp"
+#include "sens/perc/clusters.hpp"
+#include "sens/perc/mesh_router.hpp"
+#include "sens/spatial/kdtree.hpp"
+#include "sens/tiles/classify.hpp"
+#include "sens/tiles/good_prob.hpp"
+
+namespace {
+
+using namespace sens;
+
+void BM_PoissonPointSet(benchmark::State& state) {
+  const double side = static_cast<double>(state.range(0));
+  const Box w{{0.0, 0.0}, {side, side}};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poisson_point_set(w, 2.0, seed++).points);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 2.0 * side * side));
+}
+BENCHMARK(BM_PoissonPointSet)->Arg(16)->Arg(64);
+
+void BM_BuildUdg(benchmark::State& state) {
+  const double side = static_cast<double>(state.range(0));
+  const Box w{{0.0, 0.0}, {side, side}};
+  const PointSet ps = poisson_point_set(w, 4.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_udg(ps.points, w, 1.0).graph.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ps.size()));
+}
+BENCHMARK(BM_BuildUdg)->Arg(16)->Arg(48);
+
+void BM_BuildKnnGraph(benchmark::State& state) {
+  const Box w{{0.0, 0.0}, {32.0, 32.0}};
+  const PointSet ps = poisson_point_set(w, 2.0, 9);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_knn_graph(ps.points, k).graph.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ps.size()));
+}
+BENCHMARK(BM_BuildKnnGraph)->Arg(8)->Arg(32);
+
+void BM_KdTreeQuery(benchmark::State& state) {
+  const Box w{{0.0, 0.0}, {64.0, 64.0}};
+  const PointSet ps = poisson_point_set(w, 2.0, 11);
+  const KdTree tree(ps.points);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.nearest(ps.points[i % ps.size()], 16, i % ps.size()));
+    ++i;
+  }
+}
+BENCHMARK(BM_KdTreeQuery);
+
+void BM_ClusterLabeling(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SiteGrid grid = SiteGrid::random(n, n, 0.65, 3);
+  for (auto _ : state) {
+    const ClusterLabels labels(grid);
+    benchmark::DoNotOptimize(labels.largest_cluster_size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n);
+}
+BENCHMARK(BM_ClusterLabeling)->Arg(128)->Arg(512);
+
+void BM_ClassifyUdgTiles(benchmark::State& state) {
+  const UdgTileSpec spec = UdgTileSpec::strict();
+  const TileWindow window{0, 0, 32, 32};
+  const PointSet ps = poisson_point_set(window.bounds(Tiling(spec.side)), 25.0, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_udg(spec, ps.points, window).good_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ps.size()));
+}
+BENCHMARK(BM_ClassifyUdgTiles);
+
+void BM_ClassifyNnTiles(benchmark::State& state) {
+  const NnTileSpec spec = NnTileSpec::paper();
+  const TileWindow window{0, 0, 8, 8};
+  const PointSet ps = poisson_point_set(window.bounds(Tiling(spec.side())), 1.0, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_nn(spec, ps.points, window).good_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ps.size()));
+}
+BENCHMARK(BM_ClassifyNnTiles);
+
+void BM_BuildUdgSens(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_udg_sens(UdgTileSpec::strict(), 25.0, 24, 24, seed++).overlay.giant_size());
+  }
+}
+BENCHMARK(BM_BuildUdgSens);
+
+void BM_NnGoodTrial(benchmark::State& state) {
+  const NnTileSpec spec = NnTileSpec::paper();
+  const Box tile = Box::square({0.0, 0.0}, spec.side());
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    const auto pts = poisson_points_in_box(tile, 1.0, 17, s++);
+    benchmark::DoNotOptimize(spec.good(pts));
+  }
+}
+BENCHMARK(BM_NnGoodTrial);
+
+void BM_MeshRoute(benchmark::State& state) {
+  const SiteGrid grid = SiteGrid::random(128, 128, 0.75, 5);
+  const ClusterLabels labels(grid);
+  const MeshRouter router(grid);
+  std::vector<Site> giant;
+  for (std::size_t i = 0; i < grid.num_sites(); i += 11)
+    if (labels.in_largest(grid.site_at(i))) giant.push_back(grid.site_at(i));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Site a = giant[i % giant.size()];
+    const Site b = giant[(i * 7 + 13) % giant.size()];
+    benchmark::DoNotOptimize(router.route(a, b).probes);
+    ++i;
+  }
+}
+BENCHMARK(BM_MeshRoute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Network lifetime: why max-degree-4 duty-cycling matters.
+//
+// Compares two operating modes of the same Poisson deployment under a
+// steady many-to-one telemetry workload (random sources reporting to a
+// sink): (a) every node awake, routing over the full UDG with min-power
+// paths; (b) only the UDG-SENS overlay awake, routing over the relay
+// backbone. Reports energy per delivered packet, the awake-node budget and
+// rounds until the first awake node exhausts a fixed battery.
+//
+//   ./network_lifetime [--tiles 24] [--rounds 400] [--battery 50] [--seed 9]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "sens/core/sens_router.hpp"
+#include "sens/core/udg_sens.hpp"
+#include "sens/geograph/udg.hpp"
+#include "sens/graph/dijkstra.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sens;
+  const Cli cli(argc, argv);
+  const int tiles = cli.get("tiles", 24);
+  const int rounds = cli.get("rounds", 400);
+  const double battery = cli.get("battery", 50.0);
+  const std::uint64_t seed = cli.get("seed", 9ULL);
+
+  const UdgSensResult net = build_udg_sens(UdgTileSpec::strict(), 25.0, tiles, tiles, seed);
+  const GeoGraph udg = build_udg(net.points.points, net.points.window, 1.0);
+  const auto reps = net.overlay.giant_rep_sites();
+  if (reps.size() < 2) {
+    std::cout << "giant component too small; rerun with another --seed\n";
+    return 1;
+  }
+  const Site sink_site = reps.front();
+  const std::uint32_t sink_base = net.overlay.base_index[net.overlay.rep_of(sink_site)];
+  const SensRouter router(net.overlay);
+  Rng rng = Rng::stream(seed, 0x11fe);
+
+  // Mode (a): full UDG, omniscient min-power routing (best case for the
+  // always-on network; a real protocol would do worse).
+  std::vector<double> energy_udg(udg.size(), 0.0);
+  // Mode (b): SENS overlay routing.
+  std::vector<double> energy_sens(net.overlay.geo.size(), 0.0);
+
+  auto pw = [&](std::uint32_t u, std::uint32_t v) {
+    const double d = udg.edge_length(u, v);
+    return d * d;
+  };
+
+  int first_death_udg = -1, first_death_sens = -1;
+  double total_udg = 0.0, total_sens = 0.0;
+  std::size_t delivered_udg = 0, delivered_sens = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const Site src = reps[rng.uniform_index(reps.size())];
+    // (a) full UDG from the same source sensor.
+    const std::uint32_t src_base = net.overlay.base_index[net.overlay.rep_of(src)];
+    const auto path = dijkstra_path(udg.graph, src_base, sink_base, pw);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const double e = pw(path[i - 1], path[i]);
+      energy_udg[path[i - 1]] += e;
+      total_udg += e;
+    }
+    if (!path.empty()) ++delivered_udg;
+    // (b) SENS overlay.
+    const SensRoute route = router.route(src, sink_site);
+    if (route.success) {
+      ++delivered_sens;
+      for (std::size_t i = 1; i < route.node_path.size(); ++i) {
+        const double d = net.overlay.geo.edge_length(route.node_path[i - 1], route.node_path[i]);
+        energy_sens[route.node_path[i - 1]] += d * d;
+        total_sens += d * d;
+      }
+    }
+    if (first_death_udg < 0 &&
+        *std::max_element(energy_udg.begin(), energy_udg.end()) > battery)
+      first_death_udg = round;
+    if (first_death_sens < 0 &&
+        *std::max_element(energy_sens.begin(), energy_sens.end()) > battery)
+      first_death_sens = round;
+  }
+
+  std::cout << "deployment: " << net.points.size() << " sensors; sink at tile (" << sink_site.x
+            << "," << sink_site.y << ")\n\n";
+  std::cout << "mode                 awake nodes   energy/packet   first battery death (round)\n";
+  std::cout << "full UDG (min power) " << udg.size() << "          "
+            << total_udg / std::max<std::size_t>(1, delivered_udg) << "          "
+            << (first_death_udg < 0 ? std::string("> ") + std::to_string(rounds)
+                                    : std::to_string(first_death_udg))
+            << "\n";
+  std::cout << "UDG-SENS overlay     " << net.overlay.giant_size() << "           "
+            << total_sens / std::max<std::size_t>(1, delivered_sens) << "          "
+            << (first_death_sens < 0 ? std::string("> ") + std::to_string(rounds)
+                                     : std::to_string(first_death_sens))
+            << "\n\n";
+  std::cout << "SENS pays a constant-factor energy premium per packet (Li-Wan-Wang bound)\n"
+               "but puts " << net.points.size() - net.overlay.giant_size()
+            << " sensors to sleep; sleeping nodes can rotate roles to extend lifetime\n"
+               "further (future work in the paper's Section 5).\n";
+  return 0;
+}

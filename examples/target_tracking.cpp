@@ -1,0 +1,74 @@
+// Target tracking: the collaborative-sensing workload the paper's
+// introduction motivates (Zhao et al. [23]). A target walks across the
+// field; every good tile whose representative's tile the target enters
+// produces a detection, which is routed over the NN-SENS overlay to a sink
+// at the field's corner, with per-hop energy accounting.
+//
+//   ./target_tracking [--tiles 12] [--steps 40] [--seed 3]
+#include <cmath>
+#include <iostream>
+
+#include "sens/core/nn_sens.hpp"
+#include "sens/core/sens_router.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sens;
+  const Cli cli(argc, argv);
+  const int tiles = cli.get("tiles", 12);
+  const int steps = cli.get("steps", 40);
+  const std::uint64_t seed = cli.get("seed", 3ULL);
+
+  const NnTileSpec spec = NnTileSpec::paper();
+  std::cout << "building NN-SENS(2, " << spec.k() << ") on " << tiles << "x" << tiles
+            << " tiles...\n";
+  const NnSensResult net = build_nn_sens(spec, tiles, tiles, seed);
+  const auto reps = net.overlay.giant_rep_sites();
+  if (reps.empty()) {
+    std::cout << "no giant component this seed; rerun with another --seed\n";
+    return 1;
+  }
+
+  // Sink: the giant-component representative closest to the origin corner.
+  Site sink = reps.front();
+  for (const Site s : reps)
+    if (s.x + s.y < sink.x + sink.y) sink = s;
+  const SensRouter router(net.overlay);
+
+  // Random-waypoint target across the field (in tile coordinates).
+  Rng rng = Rng::stream(seed, 0x7a96e7);
+  double tx = tiles * 0.1, ty = tiles * 0.9;
+  double vx = 0.45, vy = -0.35;
+
+  std::size_t detections = 0, delivered = 0, total_hops = 0, total_probes = 0;
+  double total_energy = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    tx += vx + rng.normal(0.0, 0.05);
+    ty += vy + rng.normal(0.0, 0.05);
+    if (tx < 0 || tx >= tiles) vx = -vx;
+    if (ty < 0 || ty >= tiles) vy = -vy;
+    tx = std::clamp(tx, 0.0, tiles - 1e-9);
+    ty = std::clamp(ty, 0.0, tiles - 1e-9);
+    const Site cell{static_cast<std::int32_t>(tx), static_cast<std::int32_t>(ty)};
+
+    if (!net.overlay.rep_in_giant(cell)) continue;  // no connected sensor here
+    ++detections;
+    const SensRoute route = router.route(cell, sink);
+    if (!route.success) continue;
+    ++delivered;
+    total_hops += route.node_hops();
+    total_probes += route.probes;
+    total_energy += route.power2;
+    std::cout << "t=" << step << "  target tile (" << cell.x << "," << cell.y << ")  -> sink ("
+              << sink.x << "," << sink.y << "): " << route.tile_hops << " tile hops, "
+              << route.node_hops() << " node hops, energy " << route.power2 << "\n";
+  }
+
+  std::cout << "\nsummary: " << detections << " detections, " << delivered << " delivered, "
+            << total_hops << " total node hops, " << total_probes << " probes, total energy "
+            << total_energy << "\n";
+  std::cout << "tiles without a connected rep produce no detection — the coverage theorem\n"
+               "(E9) bounds how often the target can hide in such gaps.\n";
+  return 0;
+}

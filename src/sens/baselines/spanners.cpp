@@ -1,0 +1,92 @@
+#include "sens/baselines/spanners.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sens {
+
+namespace {
+
+/// Shared skeleton: keep the UDG edges passing `keep(u, v)`.
+template <typename Keep>
+GeoGraph filter_edges(const GeoGraph& udg, Keep&& keep) {
+  GeoGraph out;
+  out.points = udg.points;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> kept;
+  for (std::uint32_t u = 0; u < udg.graph.num_vertices(); ++u) {
+    for (const std::uint32_t v : udg.graph.neighbors(u)) {
+      if (u < v && keep(u, v)) kept.emplace_back(u, v);
+    }
+  }
+  out.graph = CsrGraph::from_edges(udg.points.size(), std::move(kept));
+  return out;
+}
+
+}  // namespace
+
+GeoGraph gabriel_graph(const GeoGraph& udg) {
+  return filter_edges(udg, [&](std::uint32_t u, std::uint32_t v) {
+    const Vec2 mid = (udg.points[u] + udg.points[v]) * 0.5;
+    const double r2 = dist2(udg.points[u], mid);
+    // Witnesses must be within the diameter disk; every witness is a UDG
+    // neighbor of u (it is closer to u than v is), so scanning adj(u) is
+    // exhaustive.
+    for (const std::uint32_t w : udg.graph.neighbors(u)) {
+      if (w != v && dist2(udg.points[w], mid) < r2 - 1e-15) return false;
+    }
+    return true;
+  });
+}
+
+GeoGraph relative_neighborhood_graph(const GeoGraph& udg) {
+  return filter_edges(udg, [&](std::uint32_t u, std::uint32_t v) {
+    const double d2 = dist2(udg.points[u], udg.points[v]);
+    // A lune witness w satisfies d(u,w) < d(u,v) <= link radius, so it is a
+    // UDG neighbor of u.
+    for (const std::uint32_t w : udg.graph.neighbors(u)) {
+      if (w == v) continue;
+      if (dist2(udg.points[u], udg.points[w]) < d2 - 1e-15 &&
+          dist2(udg.points[v], udg.points[w]) < d2 - 1e-15)
+        return false;
+    }
+    return true;
+  });
+}
+
+GeoGraph yao_graph(const GeoGraph& udg, std::size_t cones) {
+  if (cones < 1) throw std::invalid_argument("yao_graph: cones < 1");
+  GeoGraph out;
+  out.points = udg.points;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> kept;
+  std::vector<std::uint32_t> best(cones);
+  std::vector<double> best_d2(cones);
+  for (std::uint32_t u = 0; u < udg.graph.num_vertices(); ++u) {
+    std::fill(best.begin(), best.end(), 0xffffffffu);
+    std::fill(best_d2.begin(), best_d2.end(), std::numeric_limits<double>::infinity());
+    for (const std::uint32_t v : udg.graph.neighbors(u)) {
+      const Vec2 delta = udg.points[v] - udg.points[u];
+      double angle = std::atan2(delta.y, delta.x);
+      if (angle < 0.0) angle += 2.0 * std::numbers::pi;
+      auto cone = static_cast<std::size_t>(angle / (2.0 * std::numbers::pi) *
+                                           static_cast<double>(cones));
+      if (cone >= cones) cone = cones - 1;
+      const double d2 = delta.norm2();
+      // Tie-break by index for determinism.
+      if (d2 < best_d2[cone] || (d2 == best_d2[cone] && v < best[cone])) {
+        best_d2[cone] = d2;
+        best[cone] = v;
+      }
+    }
+    for (const std::uint32_t v : best)
+      if (v != 0xffffffffu) kept.emplace_back(u, v);
+  }
+  out.graph = CsrGraph::from_edges(udg.points.size(), std::move(kept));
+  return out;
+}
+
+}  // namespace sens

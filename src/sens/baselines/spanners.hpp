@@ -1,0 +1,34 @@
+// Classic topology-control baselines built over a unit-disk graph.
+//
+// The paper positions SENS against the spanner line of work it cites
+// (Li-Wan-Wang power-efficient spanners; the Li-Wang survey). These are the
+// standard constructions that line uses, implemented here as comparators
+// for experiment E12 (degree / hop stretch / power stretch):
+//
+//   * Gabriel graph GG: keep edge (u,v) iff the open disk with diameter uv
+//     contains no other point. Contains the MST; power stretch 1 for
+//     beta >= 2.
+//   * Relative neighborhood graph RNG: keep (u,v) iff no w has
+//     max(d(u,w), d(v,w)) < d(u,v) (the "lune" is empty). RNG ⊆ GG.
+//   * Yao graph YG_c: split each node's neighborhood into c equal cones and
+//     keep the nearest neighbor per cone. Out-degree <= c.
+//
+// All three keep only UDG edges, so each is a subgraph of the input and, on
+// a connected UDG, remains connected (GG/RNG contain the MST; Yao with
+// c >= 6 preserves connectivity).
+#pragma once
+
+#include <cstddef>
+
+#include "sens/geograph/geo_graph.hpp"
+
+namespace sens {
+
+[[nodiscard]] GeoGraph gabriel_graph(const GeoGraph& udg);
+
+[[nodiscard]] GeoGraph relative_neighborhood_graph(const GeoGraph& udg);
+
+/// Yao graph with `cones` sectors per node (cones >= 6 recommended).
+[[nodiscard]] GeoGraph yao_graph(const GeoGraph& udg, std::size_t cones);
+
+}  // namespace sens

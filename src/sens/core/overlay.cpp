@@ -1,0 +1,16 @@
+#include "sens/core/overlay.hpp"
+
+namespace sens {
+
+std::vector<Site> Overlay::giant_rep_sites() const {
+  std::vector<Site> out;
+  for (std::int32_t y = 0; y < sites.height(); ++y) {
+    for (std::int32_t x = 0; x < sites.width(); ++x) {
+      const Site s{x, y};
+      if (rep_in_giant(s)) out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace sens

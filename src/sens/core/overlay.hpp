@@ -1,0 +1,78 @@
+// The SENS overlay: the subnetwork of representatives and relays built on a
+// classified tile window. This is the object the paper calls
+// UDG-SENS(2, lambda) / NN-SENS(2, k) (strictly: their largest connected
+// component, exposed through `comps`).
+//
+// An overlay couples three views of the same structure:
+//   * a geometric graph (`geo`, `base_index`) over the elected nodes,
+//   * the site-percolation configuration (`sites`) the tiles induce,
+//   * per-tile exit chains that realize a tile-level mesh hop as a node
+//     path (rep -> relays -> boundary), used by SensRouter.
+// Edges are inserted only when the corresponding base-graph edge actually
+// exists; `edges_missing` counts the claim violations (see DESIGN.md §1.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sens/geograph/geo_graph.hpp"
+#include "sens/graph/components.hpp"
+#include "sens/perc/site_grid.hpp"
+#include "sens/tiles/tiling.hpp"
+
+namespace sens {
+
+struct Overlay {
+  /// Overlay nodes (subset of base points, re-indexed) and overlay edges.
+  GeoGraph geo;
+  /// Overlay node id -> index into the base point set.
+  std::vector<std::uint32_t> base_index;
+
+  /// Tile window and side used to build the overlay.
+  TileWindow window;
+  double tile_side = 0.0;
+  /// Goodness configuration: site open <=> tile good.
+  SiteGrid sites;
+
+  /// Per tile (window.index order): overlay node id of the representative,
+  /// or kNoNode for bad tiles.
+  std::vector<std::uint32_t> rep_node;
+  /// Per tile and direction: overlay node ids from (exclusive) the rep to
+  /// the tile boundary — {relay} for UDG, {E relay, C relay} for NN.
+  std::vector<std::array<std::vector<std::uint32_t>, 4>> exit_chain;
+
+  /// Connected components of the overlay graph; the SENS subgraph proper is
+  /// the largest one.
+  Components comps;
+
+  /// Edge realization accounting (DESIGN.md §1.1).
+  std::size_t edges_expected = 0;
+  std::size_t edges_missing = 0;
+
+  // --- convenience ---
+
+  [[nodiscard]] static constexpr std::uint32_t no_node() { return 0xffffffffu; }
+
+  [[nodiscard]] std::size_t tile_index(Site s) const {
+    return static_cast<std::size_t>(s.y) * static_cast<std::size_t>(window.width) +
+           static_cast<std::size_t>(s.x);
+  }
+  [[nodiscard]] bool tile_good(Site s) const { return sites.open(s); }
+  [[nodiscard]] std::uint32_t rep_of(Site s) const { return rep_node[tile_index(s)]; }
+
+  /// True if the tile's rep exists and belongs to the largest overlay
+  /// component (i.e. the tile participates in the SENS subgraph).
+  [[nodiscard]] bool rep_in_giant(Site s) const {
+    const std::uint32_t r = rep_of(s);
+    return r != no_node() && comps.in_largest(r);
+  }
+
+  /// Sites whose representatives lie in the largest overlay component.
+  [[nodiscard]] std::vector<Site> giant_rep_sites() const;
+
+  /// Overlay nodes of the largest component.
+  [[nodiscard]] std::size_t giant_size() const { return comps.largest_size(); }
+};
+
+}  // namespace sens

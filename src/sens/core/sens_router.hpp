@@ -1,0 +1,44 @@
+// Routing on the SENS overlay (Section 4.2): tile-level x-y routing with
+// distributed-BFS recovery (Angel et al., sens/perc/mesh_router.hpp) whose
+// mesh hops are realized through the relay chains of the overlay —
+// "representative points of a tile act as if they are open lattice points
+// in Z^2; they use relay points to send packets to the representative
+// points of their neighbouring good tiles" (Figure 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sens/core/overlay.hpp"
+#include "sens/perc/mesh_router.hpp"
+
+namespace sens {
+
+struct SensRoute {
+  bool success = false;
+  std::vector<std::uint32_t> node_path;  ///< overlay node ids, source rep first
+  std::size_t tile_hops = 0;             ///< mesh hops of the underlying tile route
+  std::size_t probes = 0;                ///< openness queries of the mesh router
+  double euclid_length = 0.0;            ///< total Euclidean length of node path
+  double power2 = 0.0;                   ///< sum d^2 over the node path (beta = 2)
+
+  [[nodiscard]] std::size_t node_hops() const {
+    return node_path.empty() ? 0 : node_path.size() - 1;
+  }
+};
+
+class SensRouter {
+ public:
+  explicit SensRouter(const Overlay& overlay) : overlay_(&overlay), mesh_(overlay.sites) {}
+
+  /// Route between the representatives of two good tiles. The tile route
+  /// comes from the percolated-mesh router; every mesh edge (t -> t') is
+  /// realized as rep(t) -> exit relays of t -> entry relays of t' -> rep(t').
+  [[nodiscard]] SensRoute route(Site src, Site dst) const;
+
+ private:
+  const Overlay* overlay_;
+  MeshRouter mesh_;
+};
+
+}  // namespace sens

@@ -1,0 +1,42 @@
+// A graph embedded in the plane: CSR topology + vertex coordinates, plus the
+// Euclidean/power path metrics shared by every experiment.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "sens/geometry/vec2.hpp"
+#include "sens/graph/csr.hpp"
+
+namespace sens {
+
+struct GeoGraph {
+  std::vector<Vec2> points;
+  CsrGraph graph;
+
+  [[nodiscard]] std::size_t size() const { return points.size(); }
+
+  [[nodiscard]] double edge_length(std::uint32_t u, std::uint32_t v) const {
+    return dist(points[u], points[v]);
+  }
+
+  /// Sum of Euclidean edge lengths along a vertex path.
+  [[nodiscard]] double path_length(std::span<const std::uint32_t> path) const {
+    double total = 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i) total += edge_length(path[i - 1], path[i]);
+    return total;
+  }
+
+  /// Radio energy of a path under the power-law model sum d_i^beta
+  /// (Li-Wan-Wang, beta in [2, 5]).
+  [[nodiscard]] double path_power(std::span<const std::uint32_t> path, double beta) const {
+    double total = 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i)
+      total += std::pow(edge_length(path[i - 1], path[i]), beta);
+    return total;
+  }
+};
+
+}  // namespace sens

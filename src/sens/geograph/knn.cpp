@@ -1,0 +1,29 @@
+#include "sens/geograph/knn.hpp"
+
+#include "sens/spatial/kdtree.hpp"
+#include "sens/support/parallel.hpp"
+
+namespace sens {
+
+std::vector<std::vector<std::uint32_t>> knn_selections(std::span<const Vec2> points, std::size_t k) {
+  KdTree tree(points);
+  std::vector<std::vector<std::uint32_t>> out(points.size());
+  parallel_for(points.size(), [&](std::size_t i) {
+    out[i] = tree.nearest(points[i], k, static_cast<std::uint32_t>(i));
+  });
+  return out;
+}
+
+GeoGraph build_knn_graph(std::span<const Vec2> points, std::size_t k) {
+  GeoGraph gg;
+  gg.points.assign(points.begin(), points.end());
+  const auto selections = knn_selections(points, k);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(points.size() * k);
+  for (std::uint32_t i = 0; i < selections.size(); ++i)
+    for (std::uint32_t j : selections[i]) edges.emplace_back(i, j);
+  gg.graph = CsrGraph::from_edges(points.size(), std::move(edges));
+  return gg;
+}
+
+}  // namespace sens

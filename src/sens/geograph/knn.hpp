@@ -1,0 +1,21 @@
+// k-nearest-neighbor graph builder: NN(2, k) of Haggstrom-Meester — each
+// point establishes undirected edges to the k points nearest to it; the graph
+// is the union of those selections.
+#pragma once
+
+#include <span>
+
+#include "sens/geograph/geo_graph.hpp"
+
+namespace sens {
+
+/// Build NN(2, k) over `points`. Ties (measure zero for Poisson inputs) are
+/// broken by point index, per the paper's "any tie-breaking mechanism".
+[[nodiscard]] GeoGraph build_knn_graph(std::span<const Vec2> points, std::size_t k);
+
+/// Directed out-neighbor lists (each vertex's k nearest), useful for tests
+/// and for the occupancy-cap ablation.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> knn_selections(std::span<const Vec2> points,
+                                                                     std::size_t k);
+
+}  // namespace sens

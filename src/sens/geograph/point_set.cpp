@@ -1,0 +1,53 @@
+#include "sens/geograph/point_set.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sens/rng/rng.hpp"
+
+namespace sens {
+
+PointSet poisson_point_set(Box window, double lambda, std::uint64_t seed) {
+  if (lambda < 0.0) throw std::invalid_argument("poisson_point_set: lambda < 0");
+  PointSet ps;
+  ps.window = window;
+  ps.intensity = lambda;
+  if (lambda == 0.0 || window.area() <= 0.0) return ps;
+
+  const auto ix0 = static_cast<long>(std::floor(window.lo.x));
+  const auto iy0 = static_cast<long>(std::floor(window.lo.y));
+  const auto ix1 = static_cast<long>(std::ceil(window.hi.x));
+  const auto iy1 = static_cast<long>(std::ceil(window.hi.y));
+
+  // Expected points per unit cell is lambda; reserve generously.
+  ps.points.reserve(static_cast<std::size_t>(lambda * window.area() * 1.2) + 16);
+
+  for (long iy = iy0; iy < iy1; ++iy) {
+    for (long ix = ix0; ix < ix1; ++ix) {
+      Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(ix) * 0x9E3779B9ULL + 0x12345,
+                            static_cast<std::uint64_t>(iy) * 0x85EBCA6BULL + 0x6789A);
+      const std::uint64_t n = rng.poisson(lambda);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const Vec2 p{static_cast<double>(ix) + rng.uniform(),
+                     static_cast<double>(iy) + rng.uniform()};
+        if (window.contains(p)) ps.points.push_back(p);
+      }
+    }
+  }
+  return ps;
+}
+
+std::vector<Vec2> poisson_points_in_box(Box box, double lambda, std::uint64_t seed,
+                                        std::uint64_t stream) {
+  std::vector<Vec2> out;
+  if (lambda <= 0.0 || box.area() <= 0.0) return out;
+  Rng rng = Rng::stream(seed, stream);
+  const std::uint64_t n = rng.poisson(lambda * box.area());
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(box.lo.x, box.hi.x), rng.uniform(box.lo.y, box.hi.y)});
+  }
+  return out;
+}
+
+}  // namespace sens

@@ -1,0 +1,26 @@
+#include "sens/geograph/udg.hpp"
+
+#include <stdexcept>
+
+#include "sens/spatial/grid_index.hpp"
+
+namespace sens {
+
+GeoGraph build_udg(std::span<const Vec2> points, Box bounds, double radius) {
+  if (radius <= 0.0) throw std::invalid_argument("build_udg: radius <= 0");
+  GeoGraph gg;
+  gg.points.assign(points.begin(), points.end());
+
+  GridIndex index(points, bounds, radius);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(points.size() * 4);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    index.for_each_in_radius(points[i], radius, [&](std::uint32_t j) {
+      if (j > i) edges.emplace_back(i, j);
+    });
+  }
+  gg.graph = CsrGraph::from_edges(points.size(), std::move(edges));
+  return gg;
+}
+
+}  // namespace sens

@@ -1,0 +1,16 @@
+// Unit-disk graph builder: UDG(2, lambda) of Section 1.1 — an edge between
+// every pair of points at Euclidean distance <= radius (paper: radius 1).
+#pragma once
+
+#include <span>
+
+#include "sens/geometry/box.hpp"
+#include "sens/geograph/geo_graph.hpp"
+
+namespace sens {
+
+/// Build the unit-disk graph over `points` inside `bounds` with connection
+/// radius `radius` (grid-accelerated; O(n) expected for Poisson inputs).
+[[nodiscard]] GeoGraph build_udg(std::span<const Vec2> points, Box bounds, double radius = 1.0);
+
+}  // namespace sens

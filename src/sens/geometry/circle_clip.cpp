@@ -1,0 +1,69 @@
+#include "sens/geometry/circle_clip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sens {
+
+namespace {
+
+/// Area contribution of the region bounded by (center->u), the circle/chord,
+/// and (v->center), for points u,v relative to the disk center.
+double triangle_part(Vec2 u, Vec2 v) { return 0.5 * u.cross(v); }
+
+double sector_part(Vec2 u, Vec2 v, double r) {
+  const double angle = std::atan2(u.cross(v), u.dot(v));
+  return 0.5 * r * r * angle;
+}
+
+/// Contribution of one directed polygon edge (a -> b), both relative to the
+/// disk center, to the signed area of polygon ∩ disk.
+double edge_contribution(Vec2 a, Vec2 b, double r) {
+  const Vec2 d = b - a;
+  const double qa = d.norm2();
+  const double r2 = r * r;
+  if (qa == 0.0) return 0.0;
+  const double qb = 2.0 * a.dot(d);
+  const double qc = a.norm2() - r2;
+  const double disc = qb * qb - 4.0 * qa * qc;
+
+  auto piece = [&](Vec2 u, Vec2 v) {
+    // The open segment (u, v) lies entirely inside or entirely outside the
+    // disk; decide by its midpoint.
+    const Vec2 mid = (u + v) * 0.5;
+    return mid.norm2() <= r2 ? triangle_part(u, v) : sector_part(u, v, r);
+  };
+
+  if (disc <= 0.0) return piece(a, b);
+
+  const double sq = std::sqrt(disc);
+  double t1 = (-qb - sq) / (2.0 * qa);
+  double t2 = (-qb + sq) / (2.0 * qa);
+  t1 = std::clamp(t1, 0.0, 1.0);
+  t2 = std::clamp(t2, 0.0, 1.0);
+  if (t2 <= t1) return piece(a, b);
+
+  const Vec2 p1 = a + d * t1;
+  const Vec2 p2 = a + d * t2;
+  double total = 0.0;
+  if (t1 > 0.0) total += piece(a, p1);
+  total += triangle_part(p1, p2);  // the chord segment is inside by construction
+  if (t2 < 1.0) total += piece(p2, b);
+  return total;
+}
+
+}  // namespace
+
+double disk_polygon_area(const Circle& disk, const ConvexPolygon& poly) {
+  if (poly.empty() || disk.radius <= 0.0) return 0.0;
+  const auto& verts = poly.vertices();
+  double area = 0.0;
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    const Vec2 a = verts[i] - disk.center;
+    const Vec2 b = verts[(i + 1) % verts.size()] - disk.center;
+    area += edge_contribution(a, b, disk.radius);
+  }
+  return area;
+}
+
+}  // namespace sens

@@ -1,0 +1,17 @@
+// Exact area of the intersection of a disk with a convex polygon.
+//
+// Used to compute relay-region areas of the form (convex region) \ C0:
+// area(polygon) - area(polygon ∩ C0). The algorithm decomposes the polygon
+// into signed fan triangles from the disk center and replaces the parts of
+// each edge outside the disk by circular sectors — exact up to floating point.
+#pragma once
+
+#include "sens/geometry/circle.hpp"
+#include "sens/geometry/polygon.hpp"
+
+namespace sens {
+
+/// Signed area of polygon ∩ disk; for CCW polygons the result is >= 0.
+[[nodiscard]] double disk_polygon_area(const Circle& disk, const ConvexPolygon& poly);
+
+}  // namespace sens

@@ -1,0 +1,76 @@
+#include "sens/graph/bfs.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace sens {
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, std::uint32_t source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::deque<std::uint32_t> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t bfs_distance(const CsrGraph& g, std::uint32_t source, std::uint32_t target) {
+  if (source == target) return 0;
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::deque<std::uint32_t> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        if (v == target) return dist[v];
+        queue.push_back(v);
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+std::vector<std::uint32_t> bfs_path(const CsrGraph& g, std::uint32_t source, std::uint32_t target) {
+  std::vector<std::uint32_t> parent(g.num_vertices(), kUnreachable);
+  std::deque<std::uint32_t> queue;
+  parent[source] = source;
+  queue.push_back(source);
+  bool found = source == target;
+  while (!queue.empty() && !found) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (parent[v] == kUnreachable) {
+        parent[v] = u;
+        if (v == target) {
+          found = true;
+          break;
+        }
+        queue.push_back(v);
+      }
+    }
+  }
+  std::vector<std::uint32_t> path;
+  if (!found) return path;
+  for (std::uint32_t v = target;; v = parent[v]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace sens

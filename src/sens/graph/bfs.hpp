@@ -1,0 +1,28 @@
+// Breadth-first search utilities: single-source hop distances and distances
+// restricted to a target set (early exit). Distances use uint32 with
+// `unreachable` as the sentinel.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sens/graph/csr.hpp"
+
+namespace sens {
+
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Hop distance from `source` to every vertex (kUnreachable if none).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, std::uint32_t source);
+
+/// Hop distance from `source` to `target` only, with early exit; returns
+/// kUnreachable when disconnected.
+[[nodiscard]] std::uint32_t bfs_distance(const CsrGraph& g, std::uint32_t source, std::uint32_t target);
+
+/// Shortest hop path from source to target (empty when disconnected);
+/// includes both endpoints.
+[[nodiscard]] std::vector<std::uint32_t> bfs_path(const CsrGraph& g, std::uint32_t source,
+                                                  std::uint32_t target);
+
+}  // namespace sens

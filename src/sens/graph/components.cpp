@@ -1,0 +1,45 @@
+#include "sens/graph/components.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace sens {
+
+std::vector<std::uint32_t> Components::largest_members() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v = 0; v < label.size(); ++v)
+    if (label[v] == largest) out.push_back(v);
+  return out;
+}
+
+Components connected_components(const CsrGraph& g) {
+  Components comps;
+  const std::size_t n = g.num_vertices();
+  comps.label.assign(n, 0xffffffffu);
+  std::deque<std::uint32_t> queue;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (comps.label[start] != 0xffffffffu) continue;
+    const auto id = static_cast<std::uint32_t>(comps.size.size());
+    comps.size.push_back(0);
+    comps.label[start] = id;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.front();
+      queue.pop_front();
+      ++comps.size[id];
+      for (std::uint32_t v : g.neighbors(u)) {
+        if (comps.label[v] == 0xffffffffu) {
+          comps.label[v] = id;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  if (!comps.size.empty()) {
+    comps.largest = static_cast<std::uint32_t>(
+        std::max_element(comps.size.begin(), comps.size.end()) - comps.size.begin());
+  }
+  return comps;
+}
+
+}  // namespace sens

@@ -1,0 +1,26 @@
+// Connected-component labeling and component statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sens/graph/csr.hpp"
+
+namespace sens {
+
+struct Components {
+  std::vector<std::uint32_t> label;  ///< component id per vertex (dense, 0-based)
+  std::vector<std::uint32_t> size;   ///< size per component id
+  std::uint32_t largest = 0;         ///< id of the largest component (0 if no vertices)
+
+  [[nodiscard]] std::size_t count() const { return size.size(); }
+  [[nodiscard]] std::uint32_t largest_size() const { return size.empty() ? 0 : size[largest]; }
+  [[nodiscard]] bool in_largest(std::uint32_t v) const { return label[v] == largest; }
+
+  /// Vertices of the largest component, sorted.
+  [[nodiscard]] std::vector<std::uint32_t> largest_members() const;
+};
+
+[[nodiscard]] Components connected_components(const CsrGraph& g);
+
+}  // namespace sens

@@ -1,0 +1,63 @@
+#include "sens/graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sens {
+
+CsrGraph CsrGraph::from_edges(std::size_t n,
+                              std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+  CsrGraph g;
+  // Normalize: drop self loops, order endpoints, dedupe.
+  std::erase_if(edges, [](const auto& e) { return e.first == e.second; });
+  for (auto& e : edges) {
+    if (e.first > e.second) std::swap(e.first, e.second);
+    if (e.second >= n) throw std::out_of_range("CsrGraph: vertex id out of range");
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const auto& [u, v] : edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  g.adjacency_.resize(2 * edges.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    std::sort(g.adjacency_.begin() + g.offsets_[v], g.adjacency_.begin() + g.offsets_[v + 1]);
+  return g;
+}
+
+std::size_t CsrGraph::max_degree() const {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < num_vertices(); ++v) best = std::max(best, degree(static_cast<std::uint32_t>(v)));
+  return best;
+}
+
+double CsrGraph::mean_degree() const {
+  const std::size_t n = num_vertices();
+  return n == 0 ? 0.0 : 2.0 * static_cast<double>(num_edges()) / static_cast<double>(n);
+}
+
+bool CsrGraph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> CsrGraph::edge_list() const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  out.reserve(num_edges());
+  for (std::uint32_t u = 0; u < num_vertices(); ++u)
+    for (std::uint32_t v : neighbors(u))
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+}  // namespace sens

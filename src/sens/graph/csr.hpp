@@ -1,0 +1,51 @@
+// Compressed-sparse-row undirected graph.
+//
+// All graphs in this project (UDG, kNN, SENS overlays, baselines) are built
+// once and then queried many times, so CSR is the natural representation:
+// adjacency of vertex v is the contiguous span neighbors(v).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace sens {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Build from an undirected edge list over vertices [0, n). Each pair
+  /// {u, v} is stored in both adjacency lists; self loops are dropped and
+  /// duplicate edges are merged.
+  static CsrGraph from_edges(std::size_t n, std::vector<std::pair<std::uint32_t, std::uint32_t>> edges);
+
+  [[nodiscard]] std::size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::uint32_t v) const {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t degree(std::uint32_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::size_t max_degree() const;
+  [[nodiscard]] double mean_degree() const;
+
+  /// True if {u, v} is an edge (binary search; adjacency lists are sorted).
+  [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  /// All undirected edges as (u, v) with u < v, in sorted order.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_list() const;
+
+ private:
+  std::vector<std::uint32_t> offsets_;    // n + 1
+  std::vector<std::uint32_t> adjacency_;  // 2 * m, sorted within each vertex
+};
+
+}  // namespace sens

@@ -1,0 +1,96 @@
+#include "sens/graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace sens {
+
+namespace {
+
+struct QueueEntry {
+  double cost;
+  std::uint32_t vertex;
+  bool operator>(const QueueEntry& o) const { return cost > o.cost; }
+};
+
+using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+}  // namespace
+
+std::vector<double> dijkstra_costs(const CsrGraph& g, std::uint32_t source,
+                                   const EdgeWeightFn& weight) {
+  std::vector<double> cost(g.num_vertices(), kInfCost);
+  MinQueue queue;
+  cost[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [c, u] = queue.top();
+    queue.pop();
+    if (c > cost[u]) continue;
+    for (std::uint32_t v : g.neighbors(u)) {
+      const double nc = c + weight(u, v);
+      if (nc < cost[v]) {
+        cost[v] = nc;
+        queue.push({nc, v});
+      }
+    }
+  }
+  return cost;
+}
+
+double dijkstra_cost(const CsrGraph& g, std::uint32_t source, std::uint32_t target,
+                     const EdgeWeightFn& weight) {
+  if (source == target) return 0.0;
+  std::vector<double> cost(g.num_vertices(), kInfCost);
+  MinQueue queue;
+  cost[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [c, u] = queue.top();
+    queue.pop();
+    if (u == target) return c;
+    if (c > cost[u]) continue;
+    for (std::uint32_t v : g.neighbors(u)) {
+      const double nc = c + weight(u, v);
+      if (nc < cost[v]) {
+        cost[v] = nc;
+        queue.push({nc, v});
+      }
+    }
+  }
+  return kInfCost;
+}
+
+std::vector<std::uint32_t> dijkstra_path(const CsrGraph& g, std::uint32_t source,
+                                         std::uint32_t target, const EdgeWeightFn& weight) {
+  std::vector<double> cost(g.num_vertices(), kInfCost);
+  std::vector<std::uint32_t> parent(g.num_vertices(), 0xffffffffu);
+  MinQueue queue;
+  cost[source] = 0.0;
+  parent[source] = source;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [c, u] = queue.top();
+    queue.pop();
+    if (u == target) break;
+    if (c > cost[u]) continue;
+    for (std::uint32_t v : g.neighbors(u)) {
+      const double nc = c + weight(u, v);
+      if (nc < cost[v]) {
+        cost[v] = nc;
+        parent[v] = u;
+        queue.push({nc, v});
+      }
+    }
+  }
+  std::vector<std::uint32_t> path;
+  if (parent[target] == 0xffffffffu) return path;
+  for (std::uint32_t v = target;; v = parent[v]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace sens

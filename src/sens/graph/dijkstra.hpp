@@ -1,0 +1,34 @@
+// Dijkstra shortest paths with arbitrary non-negative edge weights.
+//
+// The power-efficiency experiments (Li-Wan-Wang comparison, E12) need
+// shortest paths under Euclidean length and under the radio power metric
+// w(u,v) = d(u,v)^beta, beta in [2, 5]. Edge weights are supplied by a
+// callable so one CSR graph serves every metric.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "sens/graph/csr.hpp"
+
+namespace sens {
+
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+using EdgeWeightFn = std::function<double(std::uint32_t, std::uint32_t)>;
+
+/// Cost from `source` to all vertices under `weight` (must be >= 0).
+[[nodiscard]] std::vector<double> dijkstra_costs(const CsrGraph& g, std::uint32_t source,
+                                                 const EdgeWeightFn& weight);
+
+/// Cost from source to target with early exit; kInfCost when disconnected.
+[[nodiscard]] double dijkstra_cost(const CsrGraph& g, std::uint32_t source, std::uint32_t target,
+                                   const EdgeWeightFn& weight);
+
+/// Min-cost path (vertex sequence including endpoints; empty if unreachable).
+[[nodiscard]] std::vector<std::uint32_t> dijkstra_path(const CsrGraph& g, std::uint32_t source,
+                                                       std::uint32_t target, const EdgeWeightFn& weight);
+
+}  // namespace sens

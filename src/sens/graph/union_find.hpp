@@ -1,0 +1,47 @@
+// Disjoint-set union with path halving and union by size.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace sens {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+
+  [[nodiscard]] std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Unites the sets of a and b; returns true if they were distinct.
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+
+  /// Size of the set containing x.
+  [[nodiscard]] std::uint32_t set_size(std::uint32_t x) { return size_[find(x)]; }
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace sens

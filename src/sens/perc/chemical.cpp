@@ -1,0 +1,80 @@
+#include "sens/perc/chemical.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "sens/rng/rng.hpp"
+
+namespace sens {
+
+std::vector<std::uint32_t> chemical_distances(const SiteGrid& grid, Site source) {
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(grid.num_sites(), kUnset);
+  if (!grid.open(source)) return dist;
+  std::deque<Site> queue;
+  dist[grid.index(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Site u = queue.front();
+    queue.pop_front();
+    const std::uint32_t du = dist[grid.index(u)];
+    grid.for_each_neighbor(u, [&](Site v) {
+      if (grid.open(v) && dist[grid.index(v)] == kUnset) {
+        dist[grid.index(v)] = du + 1;
+        queue.push_back(v);
+      }
+    });
+  }
+  return dist;
+}
+
+std::vector<ChemicalSample> sample_chemical_distances(const SiteGrid& grid,
+                                                      const ClusterLabels& labels,
+                                                      std::int32_t target_separation,
+                                                      std::size_t num_pairs, std::uint64_t seed) {
+  std::vector<ChemicalSample> samples;
+  if (labels.largest_cluster() < 0) return samples;
+
+  // Collect largest-cluster members once.
+  std::vector<Site> members;
+  for (std::size_t idx = 0; idx < grid.num_sites(); ++idx) {
+    const Site s = grid.site_at(idx);
+    if (labels.in_largest(s)) members.push_back(s);
+  }
+  if (members.size() < 2) return samples;
+
+  Rng rng = Rng::stream(seed, 0xD157);
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::size_t attempts = 0;
+  while (samples.size() < num_pairs && attempts < num_pairs * 40) {
+    ++attempts;
+    const Site a = members[rng.uniform_index(members.size())];
+    // Find a member at (approximately) the target separation: try the four
+    // axis-aligned displaced positions and accept any largest-cluster site
+    // within a +-separation/4 L1 shell around them.
+    const std::int32_t sep = target_separation;
+    const Site trial{a.x + (rng.bernoulli(0.5) ? sep : -sep),
+                     a.y + static_cast<std::int32_t>(rng.uniform_int(-sep / 2, sep / 2))};
+    if (!grid.in_bounds(trial)) continue;
+    // Scan a small neighborhood of the trial position for a cluster member.
+    Site b = trial;
+    bool found = false;
+    for (std::int32_t dy = 0; dy <= 2 && !found; ++dy) {
+      for (std::int32_t dx = 0; dx <= 2 && !found; ++dx) {
+        const Site c{trial.x + dx, trial.y + dy};
+        if (grid.in_bounds(c) && labels.in_largest(c)) {
+          b = c;
+          found = true;
+        }
+      }
+    }
+    if (!found || (b.x == a.x && b.y == a.y)) continue;
+    const auto dists = chemical_distances(grid, a);
+    const std::uint32_t dp = dists[grid.index(b)];
+    if (dp == kUnset) continue;  // different cluster (cannot happen for largest)
+    samples.push_back({lattice_distance(a, b), dp});
+  }
+  return samples;
+}
+
+}  // namespace sens

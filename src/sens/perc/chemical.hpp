@@ -1,0 +1,33 @@
+// Chemical (graph) distance inside a percolated configuration — the paper's
+// D_p(x, y), against the unpercolated lattice distance D(x, y). The
+// Antal-Pisztora theorem (Lemma 1.1) says P(D_p > a) < exp(-c a) for
+// a > rho * D; experiment E8 measures rho and the exceedance tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sens/perc/clusters.hpp"
+#include "sens/perc/site_grid.hpp"
+
+namespace sens {
+
+/// BFS hop distances over open sites from `source` (must be open);
+/// closed/unreachable sites get 0xffffffff.
+[[nodiscard]] std::vector<std::uint32_t> chemical_distances(const SiteGrid& grid, Site source);
+
+struct ChemicalSample {
+  std::int32_t lattice = 0;   ///< D(x, y): L1 distance
+  std::uint32_t chemical = 0; ///< D_p(x, y): hops through open sites
+  [[nodiscard]] double ratio() const {
+    return lattice == 0 ? 1.0 : static_cast<double>(chemical) / static_cast<double>(lattice);
+  }
+};
+
+/// Sample chemical/lattice distance pairs between sites of the largest
+/// cluster at (approximately) the requested lattice separation.
+[[nodiscard]] std::vector<ChemicalSample> sample_chemical_distances(
+    const SiteGrid& grid, const ClusterLabels& labels, std::int32_t target_separation,
+    std::size_t num_pairs, std::uint64_t seed);
+
+}  // namespace sens

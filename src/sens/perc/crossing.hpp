@@ -1,0 +1,25 @@
+// Crossing probabilities and critical-point estimation for Z^2 site
+// percolation. Validates the substrate against the literature value
+// p_c ≈ 0.59274 cited by the paper ("between 0.592 and 0.593"), and is
+// reused to locate the empirical percolation onset of coupled tile grids.
+#pragma once
+
+#include <cstdint>
+
+#include "sens/perc/site_grid.hpp"
+
+namespace sens {
+
+/// True if an open left-to-right crossing of the grid exists.
+[[nodiscard]] bool has_lr_crossing(const SiteGrid& grid);
+
+/// Monte-Carlo estimate of the LR-crossing probability on an n x n window.
+[[nodiscard]] double crossing_probability(std::int32_t n, double p, std::size_t trials,
+                                          std::uint64_t seed);
+
+/// The p at which the n x n crossing probability equals 1/2 (bisection on
+/// Monte-Carlo estimates); converges to p_c as n grows.
+[[nodiscard]] double estimate_half_crossing_point(std::int32_t n, std::size_t trials_per_step,
+                                                  std::uint64_t seed, int bisection_steps = 12);
+
+}  // namespace sens

@@ -1,0 +1,101 @@
+#include "sens/perc/mesh_router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+namespace sens {
+
+namespace {
+/// Progress of site `s` along the x-y path to dst, assuming s is on it:
+/// larger means closer to dst (used to require strict progress).
+std::int64_t xy_progress(Site s, Site dst) {
+  // The x-leg is walked first; progress = -(remaining L1 distance).
+  return -static_cast<std::int64_t>(lattice_distance(s, dst));
+}
+}  // namespace
+
+Site MeshRouter::next_on_xy_path(Site cur, Site dst) {
+  if (cur.x != dst.x) return {cur.x + (dst.x > cur.x ? 1 : -1), cur.y};
+  if (cur.y != dst.y) return {cur.x, cur.y + (dst.y > cur.y ? 1 : -1)};
+  return cur;
+}
+
+bool MeshRouter::on_remaining_path(Site s, Site from, Site dst) {
+  // x-y path from `from`: first the horizontal segment at y = from.y from
+  // from.x to dst.x, then the vertical segment at x = dst.x.
+  const bool on_horizontal =
+      s.y == from.y && s.x >= std::min(from.x, dst.x) && s.x <= std::max(from.x, dst.x);
+  const bool on_vertical =
+      s.x == dst.x && s.y >= std::min(from.y, dst.y) && s.y <= std::max(from.y, dst.y);
+  if (!on_horizontal && !on_vertical) return false;
+  return xy_progress(s, dst) > xy_progress(from, dst);
+}
+
+MeshRoute MeshRouter::route(Site src, Site dst) const {
+  MeshRoute result;
+  if (!grid_->in_bounds(src) || !grid_->in_bounds(dst)) return result;
+  ++result.probes;  // src openness
+  if (!grid_->open(src)) return result;
+  result.path.push_back(src);
+  Site cur = src;
+
+  // Each loop iteration makes strict progress along the x-y path, so the
+  // loop terminates after at most width+height successful steps plus the
+  // BFS detours.
+  while (!(cur == dst)) {
+    const Site next = next_on_xy_path(cur, dst);
+    ++result.probes;  // isOpen(next): ask the relay toward `next`
+    if (grid_->open(next)) {
+      result.path.push_back(next);
+      cur = next;
+      continue;
+    }
+
+    // Distributed BFS over open sites from `cur` until any site on the
+    // remaining x-y path is found (Figure 9, step 4.else). Probes count
+    // every site whose openness the search examines.
+    ++result.bfs_invocations;
+    std::unordered_map<std::size_t, std::size_t> parent;  // index -> parent index
+    std::deque<Site> queue;
+    parent.emplace(grid_->index(cur), grid_->index(cur));
+    queue.push_back(cur);
+    Site found{-1, -1};
+    while (!queue.empty()) {
+      const Site u = queue.front();
+      queue.pop_front();
+      bool done = false;
+      grid_->for_each_neighbor(u, [&](Site v) {
+        if (done) return;
+        const std::size_t vi = grid_->index(v);
+        if (parent.contains(vi)) return;
+        ++result.probes;  // examine v
+        if (!grid_->open(v)) return;
+        parent.emplace(vi, grid_->index(u));
+        if (on_remaining_path(v, cur, dst)) {
+          found = v;
+          done = true;
+          return;
+        }
+        queue.push_back(v);
+      });
+      if (done) break;
+    }
+    if (found.x < 0) return result;  // cluster exhausted: unreachable
+
+    // Walk the discovered detour (reverse the parent chain).
+    std::vector<Site> detour;
+    for (std::size_t vi = grid_->index(found);; vi = parent.at(vi)) {
+      detour.push_back(grid_->site_at(vi));
+      if (vi == grid_->index(cur)) break;
+    }
+    std::reverse(detour.begin(), detour.end());
+    for (std::size_t i = 1; i < detour.size(); ++i) result.path.push_back(detour[i]);
+    cur = found;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace sens

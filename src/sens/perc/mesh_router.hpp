@@ -1,0 +1,51 @@
+// Distributed routing on the percolated mesh, after Angel, Benjamini, Ofek
+// and Wieder (PODC 2005), as adopted by the paper's Section 4.2 (Figure 9).
+//
+// The packet follows the canonical x-y path from source to destination:
+// first fix the x coordinate, then the y coordinate. When the next site on
+// the path is closed (tile not good), a distributed BFS over open sites is
+// launched from the current position until it reaches a site that lies on
+// the *remaining* x-y path; the packet then travels along the discovered
+// detour. The router counts `probes` — every openness query made, which is
+// the message cost a real network would pay — and `hops`, the number of
+// edges the packet traverses. Angel et al. prove E[probes] = O(shortest
+// path); experiment E11 measures the constant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sens/perc/clusters.hpp"
+#include "sens/perc/site_grid.hpp"
+
+namespace sens {
+
+struct MeshRoute {
+  bool success = false;
+  std::vector<Site> path;        ///< sites visited by the packet, source first
+  std::size_t probes = 0;        ///< openness queries (isOpen + BFS expansions)
+  std::size_t bfs_invocations = 0;
+
+  [[nodiscard]] std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+class MeshRouter {
+ public:
+  explicit MeshRouter(const SiteGrid& grid) : grid_(&grid) {}
+
+  /// Route from `src` to `dst`; both must be open sites of the same cluster
+  /// for success to be guaranteed. The route fails (success = false) only
+  /// when the cluster of `src` contains no remaining-path site.
+  [[nodiscard]] MeshRoute route(Site src, Site dst) const;
+
+ private:
+  /// Next site on the canonical x-y path from `cur` toward `dst`.
+  [[nodiscard]] static Site next_on_xy_path(Site cur, Site dst);
+  /// True if `s` lies on the x-y path from `from` to `dst` and is strictly
+  /// closer to `dst` along it than `from` is.
+  [[nodiscard]] static bool on_remaining_path(Site s, Site from, Site dst);
+
+  const SiteGrid* grid_;
+};
+
+}  // namespace sens

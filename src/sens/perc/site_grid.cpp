@@ -1,0 +1,32 @@
+#include "sens/perc/site_grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sens/rng/rng.hpp"
+
+namespace sens {
+
+SiteGrid::SiteGrid(std::int32_t width, std::int32_t height, bool initially_open)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("SiteGrid: non-positive size");
+  open_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+               initially_open ? 1 : 0);
+}
+
+SiteGrid SiteGrid::random(std::int32_t width, std::int32_t height, double p, std::uint64_t seed) {
+  SiteGrid grid(width, height);
+  Rng rng = Rng::stream(seed, 0xC0FFEE);
+  for (auto& cell : grid.open_) cell = rng.bernoulli(p) ? 1 : 0;
+  return grid;
+}
+
+std::size_t SiteGrid::open_count() const {
+  return static_cast<std::size_t>(std::count(open_.begin(), open_.end(), std::uint8_t{1}));
+}
+
+double SiteGrid::open_fraction() const {
+  return open_.empty() ? 0.0 : static_cast<double>(open_count()) / static_cast<double>(open_.size());
+}
+
+}  // namespace sens

@@ -1,0 +1,73 @@
+// Finite window of a Z^2 site percolation configuration.
+//
+// Sites are open with probability p independently (random()), or set
+// explicitly — the tile coupling of Section 2 produces SiteGrids whose
+// openness comes from tile goodness instead of coin flips, and every
+// analysis in this module runs unchanged on either kind.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sens {
+
+/// Integer lattice coordinate within a grid window.
+struct Site {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  constexpr bool operator==(const Site&) const = default;
+};
+
+class SiteGrid {
+ public:
+  /// Empty 0x0 grid (useful as a placeholder before assignment).
+  SiteGrid() : width_(0), height_(0) {}
+  SiteGrid(std::int32_t width, std::int32_t height, bool initially_open = false);
+
+  /// iid Bernoulli(p) configuration from a deterministic seed.
+  static SiteGrid random(std::int32_t width, std::int32_t height, double p, std::uint64_t seed);
+
+  [[nodiscard]] std::int32_t width() const { return width_; }
+  [[nodiscard]] std::int32_t height() const { return height_; }
+  [[nodiscard]] std::size_t num_sites() const { return open_.size(); }
+
+  [[nodiscard]] bool in_bounds(Site s) const {
+    return s.x >= 0 && s.x < width_ && s.y >= 0 && s.y < height_;
+  }
+  [[nodiscard]] bool open(Site s) const { return open_[index(s)] != 0; }
+  void set_open(Site s, bool value) { open_[index(s)] = value ? 1 : 0; }
+
+  [[nodiscard]] std::size_t index(Site s) const {
+    return static_cast<std::size_t>(s.y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(s.x);
+  }
+  [[nodiscard]] Site site_at(std::size_t idx) const {
+    return {static_cast<std::int32_t>(idx % static_cast<std::size_t>(width_)),
+            static_cast<std::int32_t>(idx / static_cast<std::size_t>(width_))};
+  }
+
+  [[nodiscard]] std::size_t open_count() const;
+  [[nodiscard]] double open_fraction() const;
+
+  /// The four lattice neighbors that fall inside the window.
+  template <typename Fn>
+  void for_each_neighbor(Site s, Fn&& fn) const {
+    const Site candidates[4] = {{s.x + 1, s.y}, {s.x - 1, s.y}, {s.x, s.y + 1}, {s.x, s.y - 1}};
+    for (const Site c : candidates)
+      if (in_bounds(c)) fn(c);
+  }
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+  std::vector<std::uint8_t> open_;
+};
+
+/// L1 (unpercolated lattice) distance — the paper's D(x, y).
+[[nodiscard]] constexpr std::int32_t lattice_distance(Site a, Site b) {
+  const std::int32_t dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const std::int32_t dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+}  // namespace sens

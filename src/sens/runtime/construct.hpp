@@ -1,0 +1,73 @@
+// Distributed execution of the network-formation algorithm (Figure 7).
+//
+// Every node knows only its own coordinates (the paper's GPS assumption)
+// and can exchange messages with its base-graph neighbors. The protocol
+// runs in four phases, each driven to quiescence on the event simulator
+// (a synchronous-rounds idealization of the timeout a deployment would use):
+//
+//   1. ELECT    — flood-min leader election per (tile, region): members
+//                 broadcast the smallest id heard so far, restricted to
+//                 region members (Singh-style election on the region).
+//   2. LEADER   — final leaders announce themselves; in the NN construction
+//                 the E relays forward the announcements of their C relays
+//                 toward the tile center (C disks are 4a from the rep and
+//                 not necessarily its direct neighbors).
+//   3. CONNECT  — the representative locally determines tile goodness (all
+//                 regions announced a leader; property P4) and connects the
+//                 relay chains: rep -> relay (UDG) or rep -> E -> C (NN).
+//   4. XHELLO / XACK — boundary relays of connected (= good) tiles shake
+//                 hands with their counterparts across the tile border.
+//
+// Every hop is a real message through sens/runtime/radio.hpp, so message
+// and energy budgets are measured, and a handshake silently fails when the
+// base graph lacks the needed link — exactly mirroring `edges_missing` of
+// the centralized builder. The integration tests assert that, for specs
+// with the worst-case guarantee (UdgTileSpec::strict()), the protocol
+// reproduces the centralized overlay bit for bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sens/geograph/geo_graph.hpp"
+#include "sens/tiles/classify.hpp"
+#include "sens/tiles/nn_tile.hpp"
+#include "sens/tiles/tiling.hpp"
+#include "sens/tiles/udg_tile.hpp"
+
+namespace sens {
+
+struct ConstructOutcome {
+  /// Tile goodness as decided by the representatives (P4, local rule).
+  std::vector<std::uint8_t> tile_good;
+  /// Elected leader (base node id) per tile and slot; kNoNode when absent.
+  /// Slot layout: 0 = rep; 1..4 = boundary relay toward dir (UDG relay /
+  /// NN C relay); 5..8 = NN E relay toward dir.
+  std::vector<std::array<std::uint32_t, 9>> leaders;
+  /// Overlay edges as base-node id pairs (u < v, sorted, deduplicated).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+  std::size_t election_messages = 0;
+  std::size_t control_messages = 0;  ///< LEADER/FORWARD/CONNECT/XHELLO/XACK
+  std::size_t failed_connects = 0;   ///< required link absent from base graph
+  std::size_t events = 0;            ///< simulator events processed
+  double energy = 0.0;               ///< total transmit energy (beta = 2)
+
+  [[nodiscard]] std::size_t total_messages() const {
+    return election_messages + control_messages;
+  }
+  [[nodiscard]] std::size_t good_count() const;
+};
+
+/// Run Figure 7 on a unit-disk network. `udg` must be the UDG over the
+/// sampled points; tiles outside `window` are ignored.
+[[nodiscard]] ConstructOutcome run_udg_construction(const GeoGraph& udg, const UdgTileSpec& spec,
+                                                    TileWindow window);
+
+/// Run the NN-SENS variant on a k-NN network.
+[[nodiscard]] ConstructOutcome run_nn_construction(const GeoGraph& knn, const NnTileSpec& spec,
+                                                   TileWindow window);
+
+}  // namespace sens

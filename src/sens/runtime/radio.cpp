@@ -1,0 +1,44 @@
+#include "sens/runtime/radio.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sens {
+
+Radio::Radio(const GeoGraph& net, Simulator& sim, double beta)
+    : net_(&net), sim_(&sim), beta_(beta), energy_(net.size(), 0.0) {}
+
+void Radio::unicast(Message msg) {
+  if (!net_->graph.has_edge(msg.from, msg.to)) {
+    throw std::logic_error("Radio::unicast: not a link of the base graph");
+  }
+  ++messages_;
+  energy_[msg.from] += std::pow(net_->edge_length(msg.from, msg.to), beta_);
+  sim_->schedule(kLatency, [this, msg] {
+    if (receiver_) receiver_(msg);
+  });
+}
+
+void Radio::broadcast(Message msg) {
+  const auto neighbors = net_->graph.neighbors(msg.from);
+  if (neighbors.empty()) return;
+  ++messages_;
+  double range = 0.0;
+  for (const std::uint32_t v : neighbors)
+    range = std::max(range, net_->edge_length(msg.from, v));
+  energy_[msg.from] += std::pow(range, beta_);
+  for (const std::uint32_t v : neighbors) {
+    Message copy = msg;
+    copy.to = v;
+    sim_->schedule(kLatency, [this, copy] {
+      if (receiver_) receiver_(copy);
+    });
+  }
+}
+
+double Radio::total_energy() const {
+  return std::accumulate(energy_.begin(), energy_.end(), 0.0);
+}
+
+}  // namespace sens

@@ -1,0 +1,60 @@
+// Radio abstraction: messages travel only along edges of the base
+// connectivity graph (UDG disk or k-NN edge set), the exact assumption the
+// paper's algorithms are defined under. Accounts messages and transmit
+// energy per node with the power-law model E = d^beta (Li-Wan-Wang).
+//
+// Payloads are opaque to the radio; protocols register one receive callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sens/geograph/geo_graph.hpp"
+#include "sens/runtime/sim.hpp"
+
+namespace sens {
+
+struct Message {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t kind = 0;  ///< protocol-defined tag
+  std::int64_t a = 0;      ///< protocol-defined payload words
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  std::int64_t d = 0;
+};
+
+class Radio {
+ public:
+  /// `net` must outlive the radio; beta is the path-loss exponent.
+  Radio(const GeoGraph& net, Simulator& sim, double beta = 2.0);
+
+  using Receiver = std::function<void(const Message&)>;
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  /// Unicast along a graph edge; throws if (from, to) is not an edge.
+  void unicast(Message msg);
+
+  /// Broadcast to every graph neighbor of `msg.from` (to field is filled in
+  /// per recipient). Energy: one transmission at the farthest-neighbor
+  /// range.
+  void broadcast(Message msg);
+
+  [[nodiscard]] std::size_t messages_sent() const { return messages_; }
+  [[nodiscard]] double total_energy() const;
+  [[nodiscard]] double node_energy(std::uint32_t v) const { return energy_[v]; }
+  [[nodiscard]] const GeoGraph& network() const { return *net_; }
+
+ private:
+  const GeoGraph* net_;
+  Simulator* sim_;
+  double beta_;
+  Receiver receiver_;
+  std::vector<double> energy_;
+  std::size_t messages_ = 0;
+
+  static constexpr double kLatency = 1.0;
+};
+
+}  // namespace sens

@@ -1,0 +1,28 @@
+#include "sens/runtime/sim.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sens {
+
+void Simulator::schedule(double delay, Action action) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator: negative delay");
+  queue_.push(Event{now_ + delay, seq_++, std::move(action)});
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && fired < max_events) {
+    // priority_queue::top is const; the action is moved out via const_cast
+    // before pop, which is safe because the element is removed immediately.
+    auto& top = const_cast<Event&>(queue_.top());
+    now_ = top.time;
+    Action action = std::move(top.action);
+    queue_.pop();
+    action();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace sens

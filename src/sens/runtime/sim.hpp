@@ -1,0 +1,46 @@
+// Minimal discrete-event simulator for the distributed protocols of
+// Section 4. Events are (time, sequence) ordered closures; the network
+// layer (radio.hpp) schedules message deliveries through it. Determinism:
+// ties in time break by insertion sequence, so a run is a pure function of
+// its inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sens {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` to run `delay` time units from now (delay >= 0).
+  void schedule(double delay, Action action);
+
+  /// Run until the event queue drains (or `max_events` fires, a guard
+  /// against non-quiescent protocols). Returns the number of events run.
+  std::size_t run(std::size_t max_events = 100'000'000);
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace sens

@@ -1,0 +1,49 @@
+// Uniform grid over a point set for fixed-radius neighbor queries.
+//
+// The unit-disk graph builder needs all pairs within distance 1; bucketing
+// points into cells of side >= query radius makes that a 3x3 cell scan per
+// point. Storage is CSR-style (offsets + permuted indices), cache friendly
+// and allocation free at query time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sens/geometry/box.hpp"
+#include "sens/geometry/vec2.hpp"
+
+namespace sens {
+
+class GridIndex {
+ public:
+  /// Builds an index over `points` with cells of side `cell_size` (must be
+  /// > 0). Points outside `bounds` are clamped into the edge cells.
+  GridIndex(std::span<const Vec2> points, Box bounds, double cell_size);
+
+  /// Invoke `fn(j)` for every point j with dist(points[j], q) <= radius.
+  /// `radius` must be <= cell_size for the 3x3 scan to be exhaustive;
+  /// larger radii scan proportionally more cells.
+  void for_each_in_radius(Vec2 q, double radius, const std::function<void(std::uint32_t)>& fn) const;
+
+  /// Collect variant of for_each_in_radius.
+  [[nodiscard]] std::vector<std::uint32_t> query_radius(Vec2 q, double radius) const;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::span<const Vec2> points() const { return points_; }
+
+ private:
+  [[nodiscard]] std::size_t cell_of(Vec2 p) const;
+
+  std::vector<Vec2> points_;
+  Box bounds_;
+  double cell_size_;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<std::uint32_t> offsets_;  // nx*ny + 1
+  std::vector<std::uint32_t> order_;    // point indices grouped by cell
+};
+
+}  // namespace sens

@@ -1,0 +1,112 @@
+#include "sens/spatial/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sens {
+
+KdTree::KdTree(std::span<const Vec2> points) : points_(points.begin(), points.end()) {
+  order_.resize(points_.size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (!points_.empty()) {
+    nodes_.reserve(2 * points_.size() / kLeafSize + 4);
+    root_ = build(0, static_cast<std::uint32_t>(points_.size()), 0);
+  }
+}
+
+std::uint32_t KdTree::build(std::uint32_t begin, std::uint32_t end, int depth) {
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= kLeafSize) {
+    nodes_[id].begin = begin;
+    nodes_[id].end = end;
+    nodes_[id].leaf = true;
+    return id;
+  }
+  const std::uint8_t axis = static_cast<std::uint8_t>(depth % 2);
+  const std::uint32_t mid = begin + (end - begin) / 2;
+  auto key = [&](std::uint32_t i) { return axis == 0 ? points_[i].x : points_[i].y; };
+  std::nth_element(order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
+                   [&](std::uint32_t a, std::uint32_t b) { return key(a) < key(b); });
+  const double split = key(order_[mid]);
+
+  const std::uint32_t left = build(begin, mid, depth + 1);
+  const std::uint32_t right = build(mid, end, depth + 1);
+  nodes_[id].leaf = false;
+  nodes_[id].axis = axis;
+  nodes_[id].split = static_cast<float>(split);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+void KdTree::search(std::uint32_t node_id, Vec2 q, std::size_t k, std::uint32_t exclude,
+                    std::vector<Candidate>& heap) const {
+  const Node& node = nodes_[node_id];
+  if (node.leaf) {
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      const std::uint32_t idx = order_[i];
+      if (idx == exclude) continue;
+      const Candidate cand{dist2(points_[idx], q), idx};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (cand < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    return;
+  }
+  const double qv = node.axis == 0 ? q.x : q.y;
+  const double delta = qv - static_cast<double>(node.split);
+  const std::uint32_t near = delta <= 0.0 ? node.left : node.right;
+  const std::uint32_t far = delta <= 0.0 ? node.right : node.left;
+  search(near, q, k, exclude, heap);
+  const double worst =
+      heap.size() < k ? std::numeric_limits<double>::infinity() : heap.front().d2;
+  // Visit the far side when the splitting plane could hide closer points or
+  // equal-distance ties (<=, so deterministic tie-breaking by index sees all
+  // candidates at the cutoff distance).
+  if (delta * delta <= worst) search(far, q, k, exclude, heap);
+}
+
+std::vector<std::uint32_t> KdTree::nearest(Vec2 q, std::size_t k, std::uint32_t exclude) const {
+  std::vector<std::uint32_t> out;
+  if (points_.empty() || k == 0) return out;
+  std::vector<Candidate> heap;
+  heap.reserve(k + 1);
+  search(root_, q, k, exclude, heap);
+  std::sort(heap.begin(), heap.end());
+  out.reserve(heap.size());
+  for (const auto& c : heap) out.push_back(c.idx);
+  return out;
+}
+
+std::vector<std::uint32_t> KdTree::query_radius(Vec2 q, double radius) const {
+  std::vector<std::uint32_t> out;
+  if (points_.empty()) return out;
+  const double r2 = radius * radius;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.leaf) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const std::uint32_t idx = order_[i];
+        if (dist2(points_[idx], q) <= r2) out.push_back(idx);
+      }
+      continue;
+    }
+    const double qv = node.axis == 0 ? q.x : q.y;
+    const double delta = qv - static_cast<double>(node.split);
+    if (delta <= radius) stack.push_back(node.left);
+    if (-delta <= radius) stack.push_back(node.right);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sens

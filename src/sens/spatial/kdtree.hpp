@@ -1,0 +1,66 @@
+// 2-d kd-tree for k-nearest-neighbor queries, used to build NN(2, k).
+//
+// Median-split construction (O(n log n)), array-backed nodes, iterative-ish
+// recursive query with a bounded max-heap of the k best candidates. Ties in
+// distance are broken by point index, matching the paper's remark that any
+// measurable tie-break rule is acceptable (ties are measure zero under a
+// Poisson process but appear in adversarial tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sens/geometry/vec2.hpp"
+
+namespace sens {
+
+class KdTree {
+ public:
+  explicit KdTree(std::span<const Vec2> points);
+
+  /// Indices of the k points nearest to `q`, excluding index `exclude`
+  /// (pass npos to exclude nothing), sorted by (distance, index).
+  static constexpr std::uint32_t npos = 0xffffffffu;
+  [[nodiscard]] std::vector<std::uint32_t> nearest(Vec2 q, std::size_t k,
+                                                   std::uint32_t exclude = npos) const;
+
+  /// All indices within `radius` of q.
+  [[nodiscard]] std::vector<std::uint32_t> query_radius(Vec2 q, double radius) const;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::span<const Vec2> points() const { return points_; }
+
+ private:
+  struct Node {
+    std::uint32_t begin = 0;   // leaf: range in order_
+    std::uint32_t end = 0;
+    std::uint32_t left = 0;    // internal: children node ids (0 = none)
+    std::uint32_t right = 0;
+    float split = 0.0F;
+    std::uint8_t axis = 0;
+    bool leaf = true;
+  };
+
+  std::uint32_t build(std::uint32_t begin, std::uint32_t end, int depth);
+
+  std::vector<Vec2> points_;
+  std::vector<std::uint32_t> order_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = 0;
+
+  static constexpr std::uint32_t kLeafSize = 16;
+
+  struct Candidate {
+    double d2;
+    std::uint32_t idx;
+    bool operator<(const Candidate& o) const {
+      return d2 != o.d2 ? d2 < o.d2 : idx < o.idx;  // heap: max at top via std::less
+    }
+  };
+
+  void search(std::uint32_t node, Vec2 q, std::size_t k, std::uint32_t exclude,
+              std::vector<Candidate>& heap) const;
+};
+
+}  // namespace sens

@@ -1,0 +1,54 @@
+#include "sens/support/cli.hpp"
+
+#include <cstdlib>
+
+namespace sens {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        options_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[body] = argv[++i];
+      } else {
+        options_[body] = "";
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return options_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double Cli::get(const std::string& name, double fallback) const {
+  auto it = options_.find(name);
+  return (it == options_.end() || it->second.empty()) ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+long Cli::get(const std::string& name, long fallback) const {
+  auto it = options_.find(name);
+  return (it == options_.end() || it->second.empty()) ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+int Cli::get(const std::string& name, int fallback) const {
+  return static_cast<int>(get(name, static_cast<long>(fallback)));
+}
+
+unsigned long long Cli::get(const std::string& name, unsigned long long fallback) const {
+  auto it = options_.find(name);
+  return (it == options_.end() || it->second.empty()) ? fallback
+                                                      : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace sens

@@ -1,0 +1,69 @@
+#include "sens/support/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace sens {
+
+namespace {
+std::atomic<unsigned> g_thread_override{0};
+}  // namespace
+
+unsigned default_thread_count() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void set_thread_count(unsigned n) { g_thread_override.store(n); }
+
+unsigned thread_count() {
+  unsigned n = g_thread_override.load();
+  return n == 0 ? default_thread_count() : n;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const unsigned workers = std::min<std::size_t>(thread_count(), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto run = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(n, std::memory_order_relaxed);  // drain remaining work
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) threads.emplace_back(run);
+  run();
+  for (auto& th : threads) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+double parallel_sum(std::size_t n, const std::function<double(std::size_t)>& task) {
+  std::vector<double> parts(n, 0.0);
+  parallel_for(n, [&](std::size_t i) { parts[i] = task(i); });
+  double total = 0.0;
+  for (double v : parts) total += v;  // fixed order => deterministic rounding
+  return total;
+}
+
+}  // namespace sens

@@ -1,0 +1,44 @@
+// Structured, deterministic fork/join parallelism.
+//
+// Monte-Carlo sweeps in this project are embarrassingly parallel over task
+// indices. `parallel_for` dispatches indices [0, n) over a fixed-size thread
+// pool; callers derive their randomness from the task index alone (see
+// sens/rng/rng.hpp), so every result is bit-identical regardless of the
+// number of worker threads. This follows the C++ Core Guidelines CP rules:
+// no shared mutable state inside tasks, joins are structured and exceptions
+// propagate to the caller.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sens {
+
+/// Number of workers used by default: hardware_concurrency, at least 1.
+[[nodiscard]] unsigned default_thread_count();
+
+/// Globally override the worker count (0 = use default_thread_count()).
+/// Intended for tests and benchmarks that need serial execution.
+void set_thread_count(unsigned n);
+[[nodiscard]] unsigned thread_count();
+
+/// Invoke `body(i)` for every i in [0, n). Order is unspecified; the call
+/// returns after all invocations complete. The first exception thrown by any
+/// task is rethrown in the caller.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Map-reduce over [0, n): each task computes a double, the results are
+/// summed deterministically in index order after the join.
+[[nodiscard]] double parallel_sum(std::size_t n, const std::function<double(std::size_t)>& task);
+
+/// Map over [0, n) into a vector (results placed at their task index).
+template <typename T>
+[[nodiscard]] std::vector<T> parallel_map(std::size_t n, const std::function<T(std::size_t)>& task) {
+  std::vector<T> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = task(i); });
+  return out;
+}
+
+}  // namespace sens

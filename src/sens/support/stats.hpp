@@ -1,0 +1,91 @@
+// Statistics helpers shared by the experiment harness and tests:
+// streaming moments, confidence intervals, proportion intervals, quantiles,
+// least-squares line fits (used for the exponential-decay fits of the
+// coverage and chemical-distance experiments), and a tiny histogram.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sens {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;       ///< Sample variance (n-1 denominator).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double stderr_mean() const;    ///< Standard error of the mean.
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Half-width of a ~95% normal confidence interval for the mean.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Point estimate + Wilson score 95% interval for a binomial proportion.
+struct Proportion {
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+
+  [[nodiscard]] double estimate() const;
+  [[nodiscard]] double wilson_low() const;
+  [[nodiscard]] double wilson_high() const;
+};
+
+/// Ordinary least squares fit y = intercept + slope * x.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+  std::size_t n = 0;
+};
+
+[[nodiscard]] LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Fit y = A * exp(B x) by regressing log(y) on x; points with y <= 0 are
+/// dropped (their count is reported via LineFit::n). slope = B,
+/// intercept = log A.
+[[nodiscard]] LineFit fit_exponential(std::span<const double> x, std::span<const double> y);
+
+/// q-th sample quantile (q in [0,1]) using linear interpolation. The input
+/// is copied and sorted.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Render as "lo..hi: count" lines (used by example binaries).
+  [[nodiscard]] std::string to_string(std::size_t max_rows = 32) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sens

@@ -1,0 +1,103 @@
+#include "sens/tiles/classify.hpp"
+
+#include <algorithm>
+
+namespace sens {
+
+namespace {
+void elect(std::uint32_t& slot, std::uint32_t candidate) {
+  slot = std::min(slot, candidate);
+}
+}  // namespace
+
+SiteGrid UdgClassification::site_grid() const {
+  SiteGrid grid(window.width, window.height);
+  for (std::size_t idx = 0; idx < good.size(); ++idx)
+    if (good[idx]) grid.set_open(grid.site_at(idx), true);
+  return grid;
+}
+
+std::size_t UdgClassification::good_count() const {
+  return static_cast<std::size_t>(std::count(good.begin(), good.end(), std::uint8_t{1}));
+}
+
+SiteGrid NnClassification::site_grid() const {
+  SiteGrid grid(window.width, window.height);
+  for (std::size_t idx = 0; idx < good.size(); ++idx)
+    if (good[idx]) grid.set_open(grid.site_at(idx), true);
+  return grid;
+}
+
+std::size_t NnClassification::good_count() const {
+  return static_cast<std::size_t>(std::count(good.begin(), good.end(), std::uint8_t{1}));
+}
+
+UdgClassification classify_udg(const UdgTileSpec& spec, std::span<const Vec2> points,
+                               TileWindow window) {
+  UdgClassification out;
+  out.spec = spec;
+  out.window = window;
+  out.nodes.assign(window.tile_count(), UdgTileNodes{});
+  out.occupancy.assign(window.tile_count(), 0);
+  std::vector<std::uint8_t> mask(window.tile_count(), 0);
+
+  const Tiling tiling(spec.side);
+  for (std::uint32_t p = 0; p < points.size(); ++p) {
+    const TileCoord t = tiling.tile_of(points[p]);
+    if (!window.contains(t)) continue;
+    const std::size_t idx = window.index(t);
+    ++out.occupancy[idx];
+    const Vec2 local = tiling.local(points[p], t);
+    const unsigned m = udg_region_mask(spec, local);
+    if (m == 0) continue;
+    mask[idx] = static_cast<std::uint8_t>(mask[idx] | m);
+    UdgTileNodes& nodes = out.nodes[idx];
+    if (m & 1u) elect(nodes.rep, p);
+    for (int dir = 0; dir < 4; ++dir)
+      if (m & (1u << (dir + 1))) elect(nodes.relay[static_cast<std::size_t>(dir)], p);
+  }
+
+  out.good.assign(window.tile_count(), 0);
+  for (std::size_t idx = 0; idx < out.good.size(); ++idx)
+    out.good[idx] = mask[idx] == 0b11111u ? 1 : 0;
+  return out;
+}
+
+NnClassification classify_nn(const NnTileSpec& spec, std::span<const Vec2> points,
+                             TileWindow window) {
+  NnClassification out;
+  out.a = spec.a();
+  out.k = spec.k();
+  out.window = window;
+  out.nodes.assign(window.tile_count(), NnTileNodes{});
+  out.occupancy.assign(window.tile_count(), 0);
+  std::vector<std::uint16_t> mask(window.tile_count(), 0);
+
+  const Tiling tiling(spec.side());
+  for (std::uint32_t p = 0; p < points.size(); ++p) {
+    const TileCoord t = tiling.tile_of(points[p]);
+    if (!window.contains(t)) continue;
+    const std::size_t idx = window.index(t);
+    ++out.occupancy[idx];
+    const Vec2 local = tiling.local(points[p], t);
+    const unsigned m = spec.region_mask(local);
+    mask[idx] = static_cast<std::uint16_t>(mask[idx] | m);
+    if (m == 0) continue;
+    NnTileNodes& nodes = out.nodes[idx];
+    if (m & 1u) elect(nodes.rep, p);
+    for (int dir = 0; dir < 4; ++dir) {
+      if (m & (1u << (dir + 1))) elect(nodes.c_relay[static_cast<std::size_t>(dir)], p);
+      if (m & (1u << (dir + 5))) elect(nodes.e_relay[static_cast<std::size_t>(dir)], p);
+    }
+  }
+
+  out.good.assign(window.tile_count(), 0);
+  for (std::size_t idx = 0; idx < out.good.size(); ++idx) {
+    const bool occupied = mask[idx] == 0x1FFu;
+    const bool under_cap = out.occupancy[idx] <= spec.max_occupancy();
+    out.good[idx] = (occupied && under_cap) ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace sens

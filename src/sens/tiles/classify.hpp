@@ -1,0 +1,70 @@
+// Classification of a point set into good/bad tiles with per-region leader
+// election, materializing the coupling phi of Section 2: the output of
+// classification *is* a site-percolation configuration (SiteGrid), and the
+// elected representatives/relays are the overlay nodes.
+//
+// Leader election here is the centralized equivalent of the distributed
+// flood-min protocol in sens/runtime: the member with the smallest point
+// index wins. The runtime integration test asserts the two agree.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sens/perc/site_grid.hpp"
+#include "sens/tiles/nn_tile.hpp"
+#include "sens/tiles/tiling.hpp"
+#include "sens/tiles/udg_tile.hpp"
+
+namespace sens {
+
+inline constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+/// Elected nodes of one UDG tile: representative + one relay per direction.
+struct UdgTileNodes {
+  std::uint32_t rep = kNoNode;
+  std::array<std::uint32_t, 4> relay{kNoNode, kNoNode, kNoNode, kNoNode};
+};
+
+/// Elected nodes of one NN tile: representative + C relay and E relay per
+/// direction (Figure 5's nine regions).
+struct NnTileNodes {
+  std::uint32_t rep = kNoNode;
+  std::array<std::uint32_t, 4> c_relay{kNoNode, kNoNode, kNoNode, kNoNode};
+  std::array<std::uint32_t, 4> e_relay{kNoNode, kNoNode, kNoNode, kNoNode};
+};
+
+struct UdgClassification {
+  UdgTileSpec spec;
+  TileWindow window;
+  std::vector<std::uint8_t> good;      ///< per tile (window.index order)
+  std::vector<UdgTileNodes> nodes;     ///< per tile
+  std::vector<std::uint32_t> occupancy;  ///< points per tile
+
+  [[nodiscard]] SiteGrid site_grid() const;
+  [[nodiscard]] std::size_t good_count() const;
+};
+
+struct NnClassification {
+  double a = 0.0;
+  std::size_t k = 0;
+  TileWindow window;
+  std::vector<std::uint8_t> good;
+  std::vector<NnTileNodes> nodes;
+  std::vector<std::uint32_t> occupancy;
+
+  [[nodiscard]] SiteGrid site_grid() const;
+  [[nodiscard]] std::size_t good_count() const;
+};
+
+/// Classify `points` over the tile window. Points outside the window are
+/// ignored (they belong to the buffer).
+[[nodiscard]] UdgClassification classify_udg(const UdgTileSpec& spec, std::span<const Vec2> points,
+                                             TileWindow window);
+
+[[nodiscard]] NnClassification classify_nn(const NnTileSpec& spec, std::span<const Vec2> points,
+                                           TileWindow window);
+
+}  // namespace sens

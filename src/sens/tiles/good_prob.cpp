@@ -1,0 +1,112 @@
+#include "sens/tiles/good_prob.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "sens/geometry/box.hpp"
+#include "sens/geograph/point_set.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/support/parallel.hpp"
+
+namespace sens {
+
+Proportion udg_good_probability(const UdgTileSpec& spec, double lambda, std::size_t trials,
+                                std::uint64_t seed) {
+  const Box tile = Box::square({0.0, 0.0}, spec.side);
+  const double hits = parallel_sum(trials, [&](std::size_t t) {
+    const std::vector<Vec2> pts = poisson_points_in_box(tile, lambda, seed, t);
+    return udg_tile_good(spec, pts) ? 1.0 : 0.0;
+  });
+  return Proportion{static_cast<std::size_t>(hits), trials};
+}
+
+double find_udg_lambda_threshold(const UdgTileSpec& spec, double target, std::size_t trials,
+                                 std::uint64_t seed, double lo, double hi, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    const double mid = (lo + hi) / 2.0;
+    const double p = udg_good_probability(spec, mid, trials, mix_seed(seed, s)).estimate();
+    if (p < target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return (lo + hi) / 2.0;
+}
+
+NnGoodCurve::NnGoodCurve(double a, std::size_t trials, std::uint64_t seed) : a_(a) {
+  // Regions do not depend on k; build the spec once with a placeholder k.
+  const NnTileSpec spec(a, 2);
+  const Box tile = Box::square({0.0, 0.0}, spec.side());
+  trials_ = parallel_map<NnTileTrial>(trials, [&](std::size_t t) {
+    const std::vector<Vec2> pts = poisson_points_in_box(tile, 1.0, seed, t);
+    NnTileTrial trial;
+    trial.occupancy = static_cast<std::uint32_t>(pts.size());
+    trial.regions_occupied = spec.regions_occupied(pts);
+    return trial;
+  });
+}
+
+Proportion NnGoodCurve::probability_at(std::size_t k) const {
+  const std::size_t cap = k / 2;
+  std::size_t hits = 0;
+  for (const auto& t : trials_)
+    if (t.regions_occupied && t.occupancy <= cap) ++hits;
+  return Proportion{hits, trials_.size()};
+}
+
+Proportion NnGoodCurve::occupancy_only() const {
+  std::size_t hits = 0;
+  for (const auto& t : trials_)
+    if (t.regions_occupied) ++hits;
+  return Proportion{hits, trials_.size()};
+}
+
+std::size_t NnGoodCurve::threshold_k(double target) const {
+  if (occupancy_only().estimate() < target) return 0;
+  // P(good) is nondecreasing in k; binary search the smallest k meeting the
+  // target. Occupancies are bounded; cap the search at 2*max+2.
+  std::uint32_t max_occ = 0;
+  for (const auto& t : trials_) max_occ = std::max(max_occ, t.occupancy);
+  std::size_t lo = 1, hi = 2 * static_cast<std::size_t>(max_occ) + 2;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (probability_at(mid).estimate() >= target)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+double optimize_nn_a(std::size_t k, std::size_t trials, std::uint64_t seed, double a_lo,
+                     double a_hi, int steps) {
+  auto value = [&](double a, int step) {
+    return NnGoodCurve(a, trials, mix_seed(seed, static_cast<std::uint64_t>(step)))
+        .probability_at(k)
+        .estimate();
+  };
+  const double gr = 0.6180339887498949;
+  double a = a_lo, b = a_hi;
+  double x1 = b - gr * (b - a);
+  double x2 = a + gr * (b - a);
+  double f1 = value(x1, 0);
+  double f2 = value(x2, 1);
+  for (int s = 2; s < steps; ++s) {
+    if (f1 > f2) {  // maximize
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - gr * (b - a);
+      f1 = value(x1, s);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + gr * (b - a);
+      f2 = value(x2, s);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace sens

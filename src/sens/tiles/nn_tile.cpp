@@ -1,0 +1,65 @@
+#include "sens/tiles/nn_tile.hpp"
+
+#include <stdexcept>
+
+#include "sens/geometry/box.hpp"
+
+namespace sens {
+
+NnTileSpec::NnTileSpec(double a, std::size_t k) : a_(a), k_(k) {
+  if (a <= 0.0) throw std::invalid_argument("NnTileSpec: a <= 0");
+  if (k == 0) throw std::invalid_argument("NnTileSpec: k == 0");
+  for (int dir = 0; dir < 4; ++dir) {
+    const DiskFamilyRegion region = make_e_region(dir);
+    // Interior seed: midway between C0 and the C disk, per Figure 5.
+    const Vec2 seed = kDirVec[static_cast<std::size_t>(dir)] * (2.0 * a_);
+    ConvexPolygon poly = region.polygonize(seed, 6.0 * a_, 256);
+    // Relay regions must live inside their own tile for local computability;
+    // clip defensively (a no-op for the paper geometry).
+    e_polygons_[static_cast<std::size_t>(dir)] =
+        poly.clip_box(Box::square({0.0, 0.0}, side()));
+  }
+}
+
+DiskFamilyRegion NnTileSpec::make_e_region(int dir) const {
+  const Vec2 u = kDirVec[static_cast<std::size_t>(dir)];
+  const Box own = Box::square({0.0, 0.0}, side());
+  const Box neighbor = Box::square(u * side(), side());
+  const Box domain = own.united(neighbor);
+  std::vector<DiskFamilyGenerator> gens;
+  gens.push_back(DiskFamilyGenerator::inscribed(Circle{{0.0, 0.0}, a_}, domain));
+  gens.push_back(DiskFamilyGenerator::inscribed(Circle{c_center(dir), a_}, domain));
+  return DiskFamilyRegion(std::move(gens));
+}
+
+bool NnTileSpec::in_e_region_exact(Vec2 local, int dir, double eps) const {
+  if (!in_tile(local)) return false;
+  return make_e_region(dir).contains(local, eps);
+}
+
+unsigned NnTileSpec::region_mask(Vec2 local) const {
+  unsigned mask = 0;
+  if (in_c0(local)) mask |= 1u;
+  for (int dir = 0; dir < 4; ++dir) {
+    if (in_c_region(local, dir)) mask |= 1u << (dir + 1);
+    if (in_e_region(local, dir)) mask |= 1u << (dir + 5);
+  }
+  return mask;
+}
+
+bool NnTileSpec::regions_occupied(std::span<const Vec2> local_points) const {
+  constexpr unsigned kAll = 0x1FFu;  // 9 regions
+  unsigned mask = 0;
+  for (const Vec2 p : local_points) {
+    mask |= region_mask(p);
+    if (mask == kAll) return true;
+  }
+  return mask == kAll;
+}
+
+bool NnTileSpec::good(std::span<const Vec2> local_points) const {
+  if (local_points.size() > max_occupancy()) return false;
+  return regions_occupied(local_points);
+}
+
+}  // namespace sens

@@ -1,0 +1,116 @@
+// Tests for the topology-control baselines: Gabriel, RNG, Yao.
+#include <gtest/gtest.h>
+
+#include "sens/baselines/spanners.hpp"
+#include "sens/geograph/point_set.hpp"
+#include "sens/geograph/udg.hpp"
+#include "sens/graph/components.hpp"
+
+namespace sens {
+namespace {
+
+GeoGraph dense_udg(std::uint64_t seed, double lambda = 6.0, double extent = 12.0) {
+  const Box w{{0.0, 0.0}, {extent, extent}};
+  const PointSet ps = poisson_point_set(w, lambda, seed);
+  return build_udg(ps.points, w, 1.0);
+}
+
+class SpannerSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpannerSeedTest, SubgraphChainRngInGabrielInUdg) {
+  const GeoGraph udg = dense_udg(GetParam());
+  const GeoGraph gg = gabriel_graph(udg);
+  const GeoGraph rng = relative_neighborhood_graph(udg);
+  // Classic containment: RNG ⊆ GG ⊆ UDG.
+  for (const auto& [u, v] : gg.graph.edge_list()) EXPECT_TRUE(udg.graph.has_edge(u, v));
+  for (const auto& [u, v] : rng.graph.edge_list()) EXPECT_TRUE(gg.graph.has_edge(u, v));
+  EXPECT_LE(rng.graph.num_edges(), gg.graph.num_edges());
+  EXPECT_LE(gg.graph.num_edges(), udg.graph.num_edges());
+  EXPECT_LT(gg.graph.num_edges(), udg.graph.num_edges());  // strictly sparser when dense
+}
+
+TEST_P(SpannerSeedTest, GabrielAndRngPreserveComponents) {
+  const GeoGraph udg = dense_udg(GetParam());
+  const Components cu = connected_components(udg.graph);
+  const Components cg = connected_components(gabriel_graph(udg).graph);
+  const Components cr = connected_components(relative_neighborhood_graph(udg).graph);
+  // GG and RNG contain the (unit-capped) MST of each component.
+  EXPECT_EQ(cg.count(), cu.count());
+  EXPECT_EQ(cr.count(), cu.count());
+  EXPECT_EQ(cg.largest_size(), cu.largest_size());
+  EXPECT_EQ(cr.largest_size(), cu.largest_size());
+}
+
+TEST_P(SpannerSeedTest, YaoPreservesConnectivityWithSixCones) {
+  const GeoGraph udg = dense_udg(GetParam());
+  const GeoGraph yao = yao_graph(udg, 6);
+  const Components cu = connected_components(udg.graph);
+  const Components cy = connected_components(yao.graph);
+  EXPECT_EQ(cy.count(), cu.count());
+  for (const auto& [u, v] : yao.graph.edge_list()) EXPECT_TRUE(udg.graph.has_edge(u, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpannerSeedTest, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Gabriel, RejectsWitnessedEdge) {
+  // Midpoint witness kills the long edge.
+  std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}, {0.5, 0.01}};
+  const GeoGraph udg = build_udg(pts, Box{{-1, -1}, {2, 1}}, 1.0);
+  const GeoGraph gg = gabriel_graph(udg);
+  EXPECT_FALSE(gg.graph.has_edge(0, 1));
+  EXPECT_TRUE(gg.graph.has_edge(0, 2));
+  EXPECT_TRUE(gg.graph.has_edge(2, 1));
+}
+
+TEST(Gabriel, KeepsUnwitnessedEdge) {
+  std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}, {0.5, 0.9}};  // witness outside diameter disk
+  const GeoGraph udg = build_udg(pts, Box{{-1, -1}, {2, 2}}, 1.0);
+  EXPECT_TRUE(gabriel_graph(udg).graph.has_edge(0, 1));
+}
+
+TEST(Rng, LuneWitnessRemovesEdge) {
+  // w = (0.5, 0.75) is in the lune of (u, v) (within d(u,v) = 1 of both)
+  // but outside the diameter disk (0.75 > 0.5 from the midpoint), so RNG
+  // drops the edge while Gabriel keeps it.
+  std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}, {0.5, 0.75}};
+  const GeoGraph udg = build_udg(pts, Box{{-1, -1}, {2, 1}}, 1.0);
+  const GeoGraph rng = relative_neighborhood_graph(udg);
+  EXPECT_FALSE(rng.graph.has_edge(0, 1));
+  EXPECT_TRUE(gabriel_graph(udg).graph.has_edge(0, 1));
+}
+
+TEST(Yao, DegreeBoundAndNearestKept) {
+  const GeoGraph udg = dense_udg(3);
+  const GeoGraph yao = yao_graph(udg, 8);
+  // Only the out-degree is bounded by the cone count (in-degree is not:
+  // many nodes may pick the same target), so the checkable invariants are
+  // the total edge budget n * cones and the resulting mean degree.
+  EXPECT_LE(yao.graph.num_edges(), yao.graph.num_vertices() * 8u);
+  EXPECT_LE(yao.graph.mean_degree(), 16.0);
+  // The globally nearest UDG neighbor of each vertex always survives.
+  for (std::uint32_t v = 0; v < udg.graph.num_vertices(); ++v) {
+    const auto nbrs = udg.graph.neighbors(v);
+    if (nbrs.empty()) continue;
+    std::uint32_t best = nbrs.front();
+    for (const auto u : nbrs)
+      if (dist2(udg.points[v], udg.points[u]) < dist2(udg.points[v], udg.points[best])) best = u;
+    EXPECT_TRUE(yao.graph.has_edge(v, best));
+  }
+  EXPECT_THROW((void)yao_graph(udg, 0), std::invalid_argument);
+}
+
+TEST(Spanners, SparsityOrdering) {
+  const GeoGraph udg = dense_udg(9, 8.0);
+  const double udg_deg = udg.graph.mean_degree();
+  const double gg_deg = gabriel_graph(udg).graph.mean_degree();
+  const double rng_deg = relative_neighborhood_graph(udg).graph.mean_degree();
+  EXPECT_LT(gg_deg, udg_deg);
+  EXPECT_LT(rng_deg, gg_deg);
+  // Literature: E[deg_GG] = 4, E[deg_RNG] ~ 2.56 for Poisson inputs (the
+  // unit cap only removes long edges). Loose brackets.
+  EXPECT_NEAR(gg_deg, 4.0, 1.0);
+  EXPECT_NEAR(rng_deg, 2.56, 0.8);
+}
+
+}  // namespace
+}  // namespace sens

@@ -1,0 +1,107 @@
+// Property and integration tests for the NN-SENS construction.
+#include <gtest/gtest.h>
+
+#include "sens/core/coverage.hpp"
+#include "sens/core/metrics.hpp"
+#include "sens/core/nn_sens.hpp"
+#include "sens/core/sens_router.hpp"
+
+namespace sens {
+namespace {
+
+// Paper parameters; 10x10 tile windows keep the k-NN graph small enough for
+// unit tests while leaving dozens of good tiles.
+NnSensResult small_build(std::uint64_t seed, int tiles = 10) {
+  return build_nn_sens(NnTileSpec::paper(), tiles, tiles, seed);
+}
+
+class NnSensSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NnSensSeedTest, MaxDegreeFour) {
+  const NnSensResult r = small_build(GetParam());
+  const DegreeReport deg = overlay_degree_report(r.overlay);
+  EXPECT_LE(deg.max_degree, 4u) << "P1 violated";
+}
+
+TEST_P(NnSensSeedTest, ClaimEdgesAllExistInKnnGraph) {
+  // Claim 2.3: with both adjacent tiles good, all five prescribed edges are
+  // genuine NN(2, k) edges — edges_missing must be zero.
+  const NnSensResult r = small_build(GetParam());
+  EXPECT_EQ(r.overlay.edges_missing, 0u);
+  EXPECT_GT(r.overlay.edges_expected, 0u);
+}
+
+TEST_P(NnSensSeedTest, AdjacentGoodTilePathsRealized) {
+  const NnSensResult r = small_build(GetParam());
+  const ClaimCheck check = check_adjacent_tile_paths(r.overlay);
+  if (check.adjacent_good_pairs == 0) GTEST_SKIP() << "no adjacent good pairs this seed";
+  EXPECT_DOUBLE_EQ(check.realized_fraction(), 1.0);
+  EXPECT_GT(check.worst_stretch, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnSensSeedTest, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(NnSens, GoodFractionPlausible) {
+  const NnSensResult r = small_build(42, 12);
+  const double frac = static_cast<double>(r.classification.good_count()) /
+                      static_cast<double>(r.classification.good.size());
+  // At the paper's (a, k) the good probability is ~0.62 (see E2).
+  EXPECT_GT(frac, 0.35);
+  EXPECT_LT(frac, 0.85);
+}
+
+TEST(NnSens, ExitChainsHaveTwoRelays) {
+  const NnSensResult r = small_build(2);
+  for (std::size_t idx = 0; idx < r.classification.good.size(); ++idx) {
+    if (!r.classification.good[idx]) continue;
+    for (int dir = 0; dir < 4; ++dir) {
+      EXPECT_EQ(r.overlay.exit_chain[idx][static_cast<std::size_t>(dir)].size(), 2u)
+          << "NN exit chain is E relay then C relay";
+    }
+  }
+}
+
+TEST(NnSens, OccupancyCapVisibleInClassification) {
+  const NnSensResult r = small_build(3);
+  for (std::size_t idx = 0; idx < r.classification.good.size(); ++idx) {
+    if (r.classification.good[idx]) {
+      EXPECT_LE(r.classification.occupancy[idx], NnTileSpec::paper().max_occupancy());
+    }
+  }
+}
+
+TEST(NnSens, CoverageDecaysWithBlockSize) {
+  const NnSensResult r = small_build(5, 14);
+  const int sizes[] = {1, 2, 3};
+  const auto probs = empty_block_probability(r.overlay, sizes);
+  EXPECT_GE(probs[0], probs[1]);
+  EXPECT_GE(probs[1], probs[2]);
+}
+
+TEST(NnSensRouter, RoutesAcrossTheWindow) {
+  const NnSensResult r = small_build(7, 12);
+  const auto reps = r.overlay.giant_rep_sites();
+  if (reps.size() < 2) GTEST_SKIP() << "giant cluster too small this seed";
+  const SensRouter router(r.overlay);
+  const SensRoute route = router.route(reps.front(), reps.back());
+  ASSERT_TRUE(route.success);
+  for (std::size_t i = 1; i < route.node_path.size(); ++i) {
+    EXPECT_TRUE(r.overlay.geo.graph.has_edge(route.node_path[i - 1], route.node_path[i]));
+  }
+  // NN tile hop realizes through 4 relays -> about 5 node hops per tile hop.
+  EXPECT_GE(route.node_hops(), route.tile_hops);
+  EXPECT_LE(route.node_hops(), 5 * route.tile_hops + 1);
+}
+
+TEST(NnSens, BufferIndependence) {
+  // Interior goodness must not depend on the buffer width (cell-consistent
+  // sampling + window-local classification).
+  const NnSensResult narrow = build_nn_sens(NnTileSpec::paper(), 8, 8, 31, 1.0);
+  const NnSensResult wide = build_nn_sens(NnTileSpec::paper(), 8, 8, 31, 2.0);
+  ASSERT_EQ(narrow.classification.good.size(), wide.classification.good.size());
+  for (std::size_t i = 0; i < narrow.classification.good.size(); ++i)
+    EXPECT_EQ(narrow.classification.good[i], wide.classification.good[i]);
+}
+
+}  // namespace
+}  // namespace sens

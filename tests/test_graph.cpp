@@ -1,0 +1,167 @@
+// Tests for sens/graph: CSR construction, BFS, Dijkstra, components,
+// union-find.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sens/graph/bfs.hpp"
+#include "sens/graph/components.hpp"
+#include "sens/graph/csr.hpp"
+#include "sens/graph/dijkstra.hpp"
+#include "sens/graph/union_find.hpp"
+#include "sens/rng/rng.hpp"
+
+namespace sens {
+namespace {
+
+CsrGraph path_graph(std::size_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+TEST(Csr, BuildNormalizesEdges) {
+  // Duplicates, reversed duplicates and self loops all collapse.
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 3}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Csr, OutOfRangeThrows) {
+  EXPECT_THROW((void)CsrGraph::from_edges(2, {{0, 5}}), std::out_of_range);
+}
+
+TEST(Csr, NeighborsSortedAndEdgeList) {
+  const CsrGraph g = CsrGraph::from_edges(5, {{3, 1}, {3, 0}, {3, 4}, {2, 3}});
+  const auto nbrs = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 2.0 * 4.0 / 5.0);
+  const auto edges = g.edge_list();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const CsrGraph g = path_graph(6);
+  const auto dist = bfs_distances(g, 0);
+  for (std::uint32_t i = 0; i < 6; ++i) EXPECT_EQ(dist[i], i);
+  EXPECT_EQ(bfs_distance(g, 0, 5), 5u);
+  EXPECT_EQ(bfs_distance(g, 2, 2), 0u);
+}
+
+TEST(Bfs, Unreachable) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(bfs_distance(g, 0, 3), kUnreachable);
+  EXPECT_EQ(bfs_distances(g, 0)[2], kUnreachable);
+  EXPECT_TRUE(bfs_path(g, 0, 3).empty());
+}
+
+TEST(Bfs, PathValidAndShortest) {
+  // Diamond with a long detour: 0-1-3, 0-2-3, 0-4-5-3.
+  const CsrGraph g = CsrGraph::from_edges(6, {{0, 1}, {1, 3}, {0, 2}, {2, 3}, {0, 4}, {4, 5}, {5, 3}});
+  const auto path = bfs_path(g, 0, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  for (std::size_t i = 1; i < path.size(); ++i) EXPECT_TRUE(g.has_edge(path[i - 1], path[i]));
+}
+
+TEST(Bfs, PathSourceEqualsTarget) {
+  const CsrGraph g = path_graph(3);
+  const auto path = bfs_path(g, 1, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+TEST(Dijkstra, MatchesBfsWithUnitWeights) {
+  Rng rng(17);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::size_t n = 80;
+  for (int e = 0; e < 200; ++e)
+    edges.emplace_back(static_cast<std::uint32_t>(rng.uniform_index(n)),
+                       static_cast<std::uint32_t>(rng.uniform_index(n)));
+  const CsrGraph g = CsrGraph::from_edges(n, std::move(edges));
+  const auto hops = bfs_distances(g, 0);
+  const auto costs = dijkstra_costs(g, 0, [](std::uint32_t, std::uint32_t) { return 1.0; });
+  for (std::size_t v = 0; v < n; ++v) {
+    if (hops[v] == kUnreachable) {
+      EXPECT_EQ(costs[v], kInfCost);
+    } else {
+      EXPECT_DOUBLE_EQ(costs[v], static_cast<double>(hops[v]));
+    }
+  }
+}
+
+TEST(Dijkstra, WeightedShortcut) {
+  // 0-1-2 cheap vs direct 0-2 expensive.
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  auto w = [](std::uint32_t a, std::uint32_t b) {
+    return (a == 0 && b == 2) || (a == 2 && b == 0) ? 10.0 : 1.0;
+  };
+  EXPECT_DOUBLE_EQ(dijkstra_cost(g, 0, 2, w), 2.0);
+  const auto path = dijkstra_path(g, 0, 2, w);
+  EXPECT_EQ(path, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(Dijkstra, UnreachableIsInf) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}});
+  EXPECT_EQ(dijkstra_cost(g, 0, 2, [](auto, auto) { return 1.0; }), kInfCost);
+  EXPECT_TRUE(dijkstra_path(g, 0, 2, [](auto, auto) { return 1.0; }).empty());
+}
+
+TEST(Components, LabelsAndLargest) {
+  const CsrGraph g = CsrGraph::from_edges(7, {{0, 1}, {1, 2}, {3, 4}, {5, 6}, {4, 5}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.largest_size(), 4u);  // {3,4,5,6}
+  EXPECT_TRUE(c.in_largest(3));
+  EXPECT_FALSE(c.in_largest(0));
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_EQ(c.largest_members(), (std::vector<std::uint32_t>{3, 4, 5, 6}));
+}
+
+TEST(Components, SingletonsCount) {
+  const CsrGraph g = CsrGraph::from_edges(3, {});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 3u);
+  EXPECT_EQ(c.largest_size(), 1u);
+}
+
+TEST(UnionFindTest, BasicInvariants) {
+  UnionFind uf(10);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 3));
+  EXPECT_EQ(uf.set_size(1), 3u);
+  EXPECT_EQ(uf.set_size(9), 1u);
+}
+
+TEST(UnionFindTest, AgreesWithComponents) {
+  Rng rng(5);
+  const std::size_t n = 200;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (int e = 0; e < 150; ++e)
+    edges.emplace_back(static_cast<std::uint32_t>(rng.uniform_index(n)),
+                       static_cast<std::uint32_t>(rng.uniform_index(n)));
+  UnionFind uf(n);
+  for (const auto& [u, v] : edges)
+    if (u != v) uf.unite(u, v);
+  const CsrGraph g = CsrGraph::from_edges(n, std::move(edges));
+  const Components c = connected_components(g);
+  for (std::uint32_t a = 0; a < n; ++a)
+    for (std::uint32_t b = a + 1; b < n; b += 17)
+      EXPECT_EQ(uf.connected(a, b), c.label[a] == c.label[b]);
+}
+
+}  // namespace
+}  // namespace sens

@@ -1,0 +1,145 @@
+// Tests for sens/spatial: grid index and kd-tree against brute-force oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sens/geometry/vec2.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/spatial/grid_index.hpp"
+#include "sens/spatial/kdtree.hpp"
+
+namespace sens {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, std::uint64_t seed, double extent = 10.0) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+  return pts;
+}
+
+std::vector<std::uint32_t> brute_radius(const std::vector<Vec2>& pts, Vec2 q, double r) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < pts.size(); ++i)
+    if (dist2(pts[i], q) <= r * r) out.push_back(i);
+  return out;
+}
+
+class GridIndexParamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridIndexParamTest, RadiusQueryMatchesBruteForce) {
+  const auto pts = random_points(400, GetParam());
+  const Box bounds{{0.0, 0.0}, {10.0, 10.0}};
+  const GridIndex index(pts, bounds, 1.0);
+  Rng rng(GetParam() + 999);
+  for (int t = 0; t < 50; ++t) {
+    const Vec2 q{rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0)};
+    const double r = rng.uniform(0.1, 1.0);
+    auto got = index.query_radius(q, r);
+    auto want = brute_radius(pts, q, r);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexParamTest, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(GridIndex, LargerRadiusThanCellStillExact) {
+  const auto pts = random_points(300, 42);
+  const GridIndex index(pts, Box{{0.0, 0.0}, {10.0, 10.0}}, 0.5);
+  auto got = index.query_radius({5.0, 5.0}, 3.0);
+  auto want = brute_radius(pts, {5.0, 5.0}, 3.0);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(GridIndex, PointsOutsideBoundsAreClamped) {
+  std::vector<Vec2> pts{{-5.0, -5.0}, {15.0, 15.0}, {5.0, 5.0}};
+  const GridIndex index(pts, Box{{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  EXPECT_EQ(index.query_radius({-5.0, -5.0}, 0.5), std::vector<std::uint32_t>{0});
+  EXPECT_EQ(index.size(), 3u);
+}
+
+TEST(GridIndex, InvalidCellSizeThrows) {
+  std::vector<Vec2> pts{{0.0, 0.0}};
+  EXPECT_THROW(GridIndex(pts, Box{{0.0, 0.0}, {1.0, 1.0}}, 0.0), std::invalid_argument);
+}
+
+TEST(GridIndex, EmptyInput) {
+  std::vector<Vec2> pts;
+  const GridIndex index(pts, Box{{0.0, 0.0}, {1.0, 1.0}}, 1.0);
+  EXPECT_TRUE(index.query_radius({0.5, 0.5}, 10.0).empty());
+}
+
+class KdTreeParamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KdTreeParamTest, NearestMatchesBruteForce) {
+  const auto pts = random_points(350, GetParam() * 31 + 5);
+  const KdTree tree(pts);
+  Rng rng(GetParam() + 12345);
+  for (int t = 0; t < 30; ++t) {
+    const Vec2 q{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+    const std::size_t k = 1 + rng.uniform_index(20);
+    const auto got = tree.nearest(q, k);
+    // Oracle: sort all points by (distance, index).
+    std::vector<std::uint32_t> want(pts.size());
+    for (std::uint32_t i = 0; i < pts.size(); ++i) want[i] = i;
+    std::sort(want.begin(), want.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const double da = dist2(pts[a], q), db = dist2(pts[b], q);
+      return da != db ? da < db : a < b;
+    });
+    want.resize(std::min(k, want.size()));
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdTreeParamTest, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(KdTree, ExcludeSelf) {
+  const auto pts = random_points(100, 3);
+  const KdTree tree(pts);
+  const auto got = tree.nearest(pts[17], 5, 17);
+  for (const auto idx : got) EXPECT_NE(idx, 17u);
+  // Without exclusion, the point itself comes first (distance 0).
+  EXPECT_EQ(tree.nearest(pts[17], 1).front(), 17u);
+}
+
+TEST(KdTree, KLargerThanN) {
+  const auto pts = random_points(10, 8);
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.nearest({5.0, 5.0}, 50).size(), 10u);
+  EXPECT_EQ(tree.nearest({5.0, 5.0}, 50, 3).size(), 9u);
+}
+
+TEST(KdTree, DuplicatePointsTieBreakByIndex) {
+  std::vector<Vec2> pts{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const KdTree tree(pts);
+  const auto got = tree.nearest({1.0, 1.0}, 3);
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(KdTree, RadiusQueryMatchesBruteForce) {
+  const auto pts = random_points(500, 5);
+  const KdTree tree(pts);
+  Rng rng(55);
+  for (int t = 0; t < 25; ++t) {
+    const Vec2 q{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+    const double r = rng.uniform(0.2, 2.5);
+    EXPECT_EQ(tree.query_radius(q, r), brute_radius(pts, q, r));
+  }
+}
+
+TEST(KdTree, EmptyAndZeroK) {
+  std::vector<Vec2> none;
+  const KdTree tree(none);
+  EXPECT_TRUE(tree.nearest({0.0, 0.0}, 3).empty());
+  const auto pts = random_points(5, 1);
+  const KdTree t2(pts);
+  EXPECT_TRUE(t2.nearest({0.0, 0.0}, 0).empty());
+}
+
+}  // namespace
+}  // namespace sens

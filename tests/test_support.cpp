@@ -1,0 +1,211 @@
+// Unit tests for sens/support: statistics, tables, CLI, parallel utilities.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sens/support/cli.hpp"
+#include "sens/support/parallel.hpp"
+#include "sens/support/stats.hpp"
+#include "sens/support/table.hpp"
+#include "sens/support/timer.hpp"
+
+namespace sens {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i * 0.7) * 10.0;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) big.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), big.ci95_halfwidth());
+}
+
+TEST(Proportion, WilsonIntervalBracketsEstimate) {
+  const Proportion p{60, 100};
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.6);
+  EXPECT_LT(p.wilson_low(), 0.6);
+  EXPECT_GT(p.wilson_high(), 0.6);
+  EXPECT_GT(p.wilson_low(), 0.49);
+  EXPECT_LT(p.wilson_high(), 0.70);
+}
+
+TEST(Proportion, DegenerateCases) {
+  EXPECT_DOUBLE_EQ((Proportion{0, 0}).estimate(), 0.0);
+  EXPECT_DOUBLE_EQ((Proportion{0, 10}).wilson_low(), 0.0);
+  EXPECT_DOUBLE_EQ((Proportion{10, 10}).wilson_high(), 1.0);
+  EXPECT_GT((Proportion{10, 10}).wilson_low(), 0.6);
+}
+
+TEST(LineFit, RecoversExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 - 2.0 * v);
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LineFit, SizeMismatchThrows) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{1};
+  EXPECT_THROW((void)fit_line(x, y), std::invalid_argument);
+}
+
+TEST(LineFit, ExponentialFitRecoversRate) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 12; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 * std::exp(-0.8 * i));
+  }
+  const LineFit fit = fit_exponential(x, y);
+  EXPECT_NEAR(fit.slope, -0.8, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 5.0, 1e-9);
+}
+
+TEST(LineFit, ExponentialSkipsNonPositive) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{std::exp(-1.0), 0.0, std::exp(-3.0), std::exp(-4.0)};
+  const LineFit fit = fit_exponential(x, y);
+  EXPECT_EQ(fit.n, 3u);
+  EXPECT_NEAR(fit.slope, -1.0, 1e-9);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-3.0);   // clamps into bin 0
+  h.add(25.0);   // clamps into bin 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(TableTest, MarkdownShape) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string md = t.markdown();
+  EXPECT_NE(md.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(md.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, CsvAndFormat) {
+  Table t({"x", "y"});
+  t.add_row({Table::fmt(3.14159, 3), Table::fmt_int(42)});
+  EXPECT_EQ(t.csv(), "x,y\n3.14,42\n");
+}
+
+TEST(CliTest, ParsesForms) {
+  // Note: a bare token after `--flag` would parse as its value (documented
+  // greedy form), so the positional argument comes first.
+  const char* argv[] = {"prog", "pos1", "--alpha=1.5", "--beta", "7", "--flag"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get("alpha", 0.0), 1.5);
+  EXPECT_EQ(cli.get("beta", 0L), 7L);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_FALSE(cli.has("gamma"));
+  EXPECT_EQ(cli.get("gamma", std::string("dft")), "dft");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(ParallelTest, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, SumDeterministicAcrossThreadCounts) {
+  auto task = [](std::size_t i) { return std::sin(static_cast<double>(i)) * 1e-3; };
+  set_thread_count(1);
+  const double serial = parallel_sum(5000, task);
+  set_thread_count(4);
+  const double parallel = parallel_sum(5000, task);
+  set_thread_count(0);
+  EXPECT_DOUBLE_EQ(serial, parallel);
+}
+
+TEST(ParallelTest, PropagatesException) {
+  EXPECT_THROW(parallel_for(100,
+                            [](std::size_t i) {
+                              if (i == 31) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelTest, MapPlacesResults) {
+  const auto out = parallel_map<int>(64, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_EQ(out[7], 49);
+  EXPECT_EQ(out[63], 63 * 63);
+}
+
+TEST(TimerTest, MeasuresSomething) {
+  Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace sens

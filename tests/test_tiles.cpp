@@ -1,0 +1,306 @@
+// Tests for sens/tiles: tiling/coupling map, the two tile specs, goodness
+// predicates, and the P(good) estimators behind Theorems 2.2 / 2.4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sens/rng/rng.hpp"
+#include "sens/tiles/classify.hpp"
+#include "sens/tiles/good_prob.hpp"
+#include "sens/tiles/nn_tile.hpp"
+#include "sens/tiles/tiling.hpp"
+#include "sens/tiles/udg_tile.hpp"
+
+namespace sens {
+namespace {
+
+TEST(TilingTest, TileOfAndBox) {
+  const Tiling t(2.0);
+  EXPECT_EQ(t.tile_of({0.5, 0.5}), (TileCoord{0, 0}));
+  EXPECT_EQ(t.tile_of({-0.5, 3.9}), (TileCoord{-1, 1}));
+  const Box b = t.tile_box({1, -1});
+  EXPECT_EQ(b.lo, Vec2(2.0, -2.0));
+  EXPECT_EQ(b.hi, Vec2(4.0, 0.0));
+  EXPECT_EQ(t.tile_center({0, 0}), Vec2(1.0, 1.0));
+  EXPECT_EQ(t.local({1.5, 0.5}, {0, 0}), Vec2(0.5, -0.5));
+}
+
+TEST(TileWindowTest, PhiRoundTrip) {
+  const TileWindow w{-3, 2, 8, 6};
+  EXPECT_TRUE(w.contains({-3, 2}));
+  EXPECT_TRUE(w.contains({4, 7}));
+  EXPECT_FALSE(w.contains({5, 2}));
+  EXPECT_FALSE(w.contains({-4, 2}));
+  const TileCoord t{1, 5};
+  EXPECT_EQ(w.phi_inverse(w.phi(t)), t);
+  EXPECT_EQ(w.phi(t), (Site{4, 3}));
+  EXPECT_EQ(w.tile_count(), 48u);
+  EXPECT_EQ(w.index({-3, 2}), 0u);
+  const Box b = w.bounds(Tiling(1.5));
+  EXPECT_DOUBLE_EQ(b.lo.x, -4.5);
+  EXPECT_DOUBLE_EQ(b.width(), 12.0);
+}
+
+TEST(UdgSpec, PresetsAndGuarantees) {
+  const UdgTileSpec paper = UdgTileSpec::paper();
+  EXPECT_DOUBLE_EQ(paper.side, 4.0 / 3.0);
+  EXPECT_FALSE(paper.guarantees_paths());  // DESIGN.md 1.1
+
+  const UdgTileSpec strict = UdgTileSpec::strict();
+  EXPECT_TRUE(strict.guarantees_paths());
+  EXPECT_GT(strict.relay_region_area(), 0.0);
+}
+
+TEST(UdgSpec, RegionMembership) {
+  const UdgTileSpec s = UdgTileSpec::strict();
+  EXPECT_TRUE(s.in_rep_region({0.0, 0.0}));
+  EXPECT_TRUE(s.in_rep_region({s.rep_radius, 0.0}));
+  EXPECT_FALSE(s.in_rep_region({s.rep_radius + 0.01, 0.0}));
+  // A point between C0 and the right edge, inside both reach disks.
+  const Vec2 relay_pt{(s.side - s.reach + s.reach) / 2.0, 0.0};  // = side/2 area midpoint
+  EXPECT_TRUE(s.in_relay_region({0.40, 0.0}, 0));
+  EXPECT_FALSE(s.in_relay_region({0.40, 0.0}, 1));  // wrong direction
+  EXPECT_FALSE(s.in_relay_region({0.0, 0.0}, 0));   // inside C0
+  EXPECT_FALSE(s.in_relay_region({s.side, 0.0}, 0));  // outside tile
+  (void)relay_pt;
+}
+
+TEST(UdgSpec, RegionMaskAndGoodness) {
+  const UdgTileSpec s = UdgTileSpec::strict();
+  EXPECT_EQ(udg_region_mask(s, {0.0, 0.0}), 1u);
+  EXPECT_EQ(udg_region_mask(s, {0.40, 0.0}) & 0b10u, 0b10u);
+  // One point per region makes the tile good.
+  const std::vector<Vec2> pts{{0.0, 0.0}, {0.40, 0.0}, {-0.40, 0.0}, {0.0, 0.40}, {0.0, -0.40}};
+  EXPECT_TRUE(udg_tile_good(s, pts));
+  // Remove one relay -> bad.
+  const std::vector<Vec2> missing{{0.0, 0.0}, {0.40, 0.0}, {-0.40, 0.0}, {0.0, 0.40}};
+  EXPECT_FALSE(udg_tile_good(s, missing));
+  EXPECT_FALSE(udg_tile_good(s, {}));
+}
+
+TEST(UdgSpec, CornerPointsServeTwoRelays) {
+  const UdgTileSpec s = UdgTileSpec::strict();
+  // A point in the overlap of the +x and +y lenses (DESIGN/paper remark).
+  const Vec2 p{0.30, 0.30};
+  if (s.in_relay_region(p, 0)) EXPECT_TRUE(s.in_relay_region(p, 2));
+}
+
+TEST(UdgSpec, AreasSumBelowTileArea) {
+  for (const auto& s : {UdgTileSpec::paper(), UdgTileSpec::strict()}) {
+    EXPECT_GT(s.rep_region_area(), 0.0);
+    EXPECT_NEAR(s.rep_region_area(), std::numbers::pi * s.rep_radius * s.rep_radius, 1e-3);
+    EXPECT_LT(s.rep_region_area() + 4.0 * s.relay_region_area(), s.side * s.side * 1.2);
+  }
+}
+
+TEST(UdgSpec, StrictWorstCaseEdgeBound) {
+  // Brute-force the Claim 2.1 guarantee: sampled rep/relay placements never
+  // exceed the link radius for the strict spec.
+  const UdgTileSpec s = UdgTileSpec::strict();
+  Rng rng(41);
+  for (int t = 0; t < 20000; ++t) {
+    const Vec2 rep = Vec2{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)} * s.rep_radius;
+    if (!s.in_rep_region(rep)) continue;
+    const Vec2 relay{rng.uniform(0.0, s.side / 2.0), rng.uniform(-s.side / 2.0, s.side / 2.0)};
+    if (!s.in_relay_region(relay, 0)) continue;
+    EXPECT_LE(dist(rep, relay), s.link_radius + 1e-12);
+    // Facing relay in the right neighbor (local coords of the neighbor tile).
+    const Vec2 relay2{rng.uniform(-s.side / 2.0, 0.0), rng.uniform(-s.side / 2.0, s.side / 2.0)};
+    if (!s.in_relay_region(relay2, 1)) continue;
+    const Vec2 relay2_abs = relay2 + Vec2{s.side, 0.0};
+    EXPECT_LE(dist(relay, relay2_abs), s.link_radius + 1e-12);
+  }
+}
+
+TEST(NnSpec, GeometrySanity) {
+  const NnTileSpec s = NnTileSpec::paper();
+  EXPECT_DOUBLE_EQ(s.a(), 0.893);
+  EXPECT_EQ(s.k(), 188u);
+  EXPECT_EQ(s.max_occupancy(), 94u);
+  EXPECT_DOUBLE_EQ(s.side(), 8.93);
+  EXPECT_NEAR(s.c_region_area(), std::numbers::pi * 0.893 * 0.893, 1e-12);
+  EXPECT_GT(s.e_region_area(), s.c_region_area());  // E regions are larger
+  // E region lies strictly between C0 and the C disk, inside the tile.
+  const Box bb = s.e_polygon(0).bounding_box();
+  EXPECT_GT(bb.lo.x, 0.0);
+  EXPECT_LT(bb.hi.x, s.side() / 2.0);
+}
+
+TEST(NnSpec, RegionMembershipAndMask) {
+  const NnTileSpec s = NnTileSpec::paper();
+  const double a = s.a();
+  EXPECT_TRUE(s.in_c0({0.0, 0.0}));
+  EXPECT_TRUE(s.in_c_region({4.0 * a, 0.0}, 0));
+  EXPECT_TRUE(s.in_c_region({-4.0 * a, 0.5 * a}, 1));
+  EXPECT_FALSE(s.in_c_region({4.0 * a, 0.0}, 2));
+  EXPECT_TRUE(s.in_e_region({2.0 * a, 0.0}, 0));
+  EXPECT_TRUE(s.in_e_region({0.0, 2.0 * a}, 2));
+  EXPECT_FALSE(s.in_e_region({2.0 * a, 0.0}, 1));
+  EXPECT_EQ(s.region_mask({0.0, 0.0}) & 1u, 1u);
+  EXPECT_EQ(s.region_mask({2.0 * a, 0.0}) & (1u << 5), 1u << 5);
+  EXPECT_EQ(s.region_mask({4.0 * a, 0.0}) & (1u << 1), 1u << 1);
+}
+
+TEST(NnSpec, PolygonAgreesWithExactOracle) {
+  const NnTileSpec s = NnTileSpec::paper();
+  Rng rng(71);
+  int checked = 0, disagreements = 0;
+  for (int t = 0; t < 800; ++t) {
+    const Vec2 p{rng.uniform(-s.side() / 2, s.side() / 2),
+                 rng.uniform(-s.side() / 2, s.side() / 2)};
+    const bool poly = s.in_e_region(p, 0);
+    const bool exact = s.in_e_region_exact(p, 0, 1e-6);
+    // Points near the boundary may flip; count real disagreements away from it.
+    if (poly != exact) ++disagreements;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+  EXPECT_LE(disagreements, checked / 50);  // <= 2% boundary flips
+}
+
+TEST(NnSpec, SymmetryUnderRotation) {
+  const NnTileSpec s = NnTileSpec::paper();
+  // E regions are 90-degree rotations of each other.
+  const Vec2 p{1.8 * s.a(), 0.4 * s.a()};
+  const Vec2 rot{-p.y, p.x};  // +90 degrees: +x direction -> +y direction
+  EXPECT_EQ(s.in_e_region(p, 0), s.in_e_region(rot, 2));
+  EXPECT_NEAR(s.e_polygon(0).area(), s.e_polygon(2).area(), 1e-3);
+  EXPECT_NEAR(s.e_polygon(1).area(), s.e_polygon(3).area(), 1e-3);
+}
+
+TEST(NnSpec, GoodnessRequiresCapAndOccupancy) {
+  const NnTileSpec s(0.9, 20);  // cap = 10
+  const double a = 0.9;
+  std::vector<Vec2> pts{
+      {0.0, 0.0},                        // C0
+      {4.0 * a, 0.0},  {-4.0 * a, 0.0},  // Cr, Cl
+      {0.0, 4.0 * a},  {0.0, -4.0 * a},  // Ct, Cb
+      {2.0 * a, 0.0},  {-2.0 * a, 0.0},  // Er, El
+      {0.0, 2.0 * a},  {0.0, -2.0 * a},  // Et, Eb
+  };
+  EXPECT_TRUE(s.good(pts));
+  EXPECT_TRUE(s.regions_occupied(pts));
+  // Blow the cap with filler points in no particular region.
+  std::vector<Vec2> crowded = pts;
+  for (int i = 0; i < 3; ++i) crowded.push_back({3.3 * a, 3.3 * a});
+  EXPECT_GT(crowded.size(), s.max_occupancy());
+  EXPECT_FALSE(s.good(crowded));
+  EXPECT_TRUE(s.regions_occupied(crowded));
+  // Remove a required region -> bad even under the cap.
+  std::vector<Vec2> missing(pts.begin(), pts.end() - 1);
+  EXPECT_FALSE(s.good(missing));
+}
+
+TEST(NnSpec, InvalidParamsThrow) {
+  EXPECT_THROW(NnTileSpec(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(NnTileSpec(1.0, 0), std::invalid_argument);
+}
+
+TEST(GoodProb, UdgMonotoneInLambda) {
+  const UdgTileSpec s = UdgTileSpec::paper();
+  const double p1 = udg_good_probability(s, 4.0, 3000, 2).estimate();
+  const double p2 = udg_good_probability(s, 8.0, 3000, 2).estimate();
+  const double p3 = udg_good_probability(s, 16.0, 3000, 2).estimate();
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+TEST(GoodProb, UdgThresholdBracketsTarget) {
+  const UdgTileSpec s = UdgTileSpec::paper();
+  const double lambda_s = find_udg_lambda_threshold(s, 0.593, 2500, 7, 0.5, 64.0, 14);
+  const double below = udg_good_probability(s, lambda_s * 0.8, 4000, 11).estimate();
+  const double above = udg_good_probability(s, lambda_s * 1.2, 4000, 12).estimate();
+  EXPECT_LT(below, 0.593);
+  EXPECT_GT(above, 0.593);
+}
+
+TEST(GoodProb, NnCurveMonotoneInK) {
+  const NnGoodCurve curve(0.893, 2500, 3);
+  double prev = -1.0;
+  for (std::size_t k = 80; k <= 280; k += 20) {
+    const double p = curve.probability_at(k).estimate();
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_LE(prev, curve.occupancy_only().estimate() + 1e-12);
+}
+
+TEST(GoodProb, NnThresholdNearPaperValue) {
+  // Theorem 2.4 reproduction: measured k_s at a = 0.893 should be in the
+  // paper's neighborhood (paper: 188).
+  const NnGoodCurve curve(0.893, 4000, 9);
+  const std::size_t ks = curve.threshold_k(0.593);
+  EXPECT_GT(ks, 150u);
+  EXPECT_LT(ks, 215u);
+}
+
+TEST(GoodProb, NnThresholdZeroWhenUnreachable) {
+  // Tiny tiles: regions occupied almost never -> no k reaches the target.
+  const NnGoodCurve curve(0.15, 400, 5);
+  EXPECT_EQ(curve.threshold_k(0.99), 0u);
+}
+
+TEST(ClassifyUdg, HandCraftedTile) {
+  const UdgTileSpec s = UdgTileSpec::strict();
+  const TileWindow w{0, 0, 2, 1};
+  // Tile (0,0) center is (side/2, side/2); place the 5 region points there.
+  const Vec2 c{s.side / 2.0, s.side / 2.0};
+  std::vector<Vec2> pts{c,
+                        c + Vec2{0.40, 0.0},
+                        c + Vec2{-0.40, 0.0},
+                        c + Vec2{0.0, 0.40},
+                        c + Vec2{0.0, -0.40}};
+  const UdgClassification cls = classify_udg(s, pts, w);
+  EXPECT_EQ(cls.good[0], 1);
+  EXPECT_EQ(cls.good[1], 0);
+  EXPECT_EQ(cls.occupancy[0], 5u);
+  EXPECT_EQ(cls.nodes[0].rep, 0u);
+  EXPECT_EQ(cls.nodes[0].relay[0], 1u);
+  EXPECT_EQ(cls.nodes[0].relay[1], 2u);
+  EXPECT_EQ(cls.good_count(), 1u);
+  const SiteGrid grid = cls.site_grid();
+  EXPECT_TRUE(grid.open({0, 0}));
+  EXPECT_FALSE(grid.open({1, 0}));
+}
+
+TEST(ClassifyUdg, ElectionPicksSmallestIndex) {
+  const UdgTileSpec s = UdgTileSpec::strict();
+  const TileWindow w{0, 0, 1, 1};
+  const Vec2 c{s.side / 2.0, s.side / 2.0};
+  // Two candidates in C0; the first index wins.
+  std::vector<Vec2> pts{c + Vec2{0.05, 0.0}, c + Vec2{0.0, 0.05}};
+  const UdgClassification cls = classify_udg(s, pts, w);
+  EXPECT_EQ(cls.nodes[0].rep, 0u);
+}
+
+TEST(ClassifyNn, OccupancyCapEnforced) {
+  const NnTileSpec s(0.9, 20);  // cap 10
+  const TileWindow w{0, 0, 1, 1};
+  const double a = 0.9;
+  const Vec2 c{s.side() / 2.0, s.side() / 2.0};
+  std::vector<Vec2> pts;
+  for (const Vec2 local : {Vec2{0, 0}, Vec2{4 * a, 0}, Vec2{-4 * a, 0}, Vec2{0, 4 * a},
+                           Vec2{0, -4 * a}, Vec2{2 * a, 0}, Vec2{-2 * a, 0}, Vec2{0, 2 * a},
+                           Vec2{0, -2 * a}})
+    pts.push_back(c + local);
+  NnClassification cls = classify_nn(s, pts, w);
+  EXPECT_EQ(cls.good[0], 1);
+  EXPECT_EQ(cls.nodes[0].rep, 0u);
+  // Exceed the cap.
+  for (int i = 0; i < 4; ++i) pts.push_back(c + Vec2{3.4 * a, 3.4 * a});
+  cls = classify_nn(s, pts, w);
+  EXPECT_EQ(cls.good[0], 0);
+  EXPECT_EQ(cls.occupancy[0], 13u);
+}
+
+TEST(ClassifyTiles, PointsOutsideWindowIgnored) {
+  const UdgTileSpec s = UdgTileSpec::strict();
+  const TileWindow w{0, 0, 1, 1};
+  std::vector<Vec2> pts{{-0.1, 0.3}, {5.0, 5.0}};
+  const UdgClassification cls = classify_udg(s, pts, w);
+  EXPECT_EQ(cls.occupancy[0], 0u);
+}
+
+}  // namespace
+}  // namespace sens
