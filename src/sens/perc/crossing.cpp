@@ -48,7 +48,8 @@ double estimate_half_crossing_point(std::int32_t n, std::size_t trials_per_step,
   double hi = 0.85;
   for (int step = 0; step < bisection_steps; ++step) {
     const double mid = (lo + hi) / 2.0;
-    const double prob = crossing_probability(n, mid, trials_per_step, mix_seed(seed, step));
+    const double prob =
+        crossing_probability(n, mid, trials_per_step, mix_seed(seed, static_cast<std::uint64_t>(step)));
     if (prob < 0.5)
       lo = mid;
     else
