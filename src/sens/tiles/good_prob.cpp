@@ -24,7 +24,8 @@ double find_udg_lambda_threshold(const UdgTileSpec& spec, double target, std::si
                                  std::uint64_t seed, double lo, double hi, int steps) {
   for (int s = 0; s < steps; ++s) {
     const double mid = (lo + hi) / 2.0;
-    const double p = udg_good_probability(spec, mid, trials, mix_seed(seed, s)).estimate();
+    const double p =
+        udg_good_probability(spec, mid, trials, mix_seed(seed, static_cast<std::uint64_t>(s))).estimate();
     if (p < target)
       lo = mid;
     else
