@@ -25,7 +25,8 @@ unsigned thread_count() {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  const unsigned workers = std::min<std::size_t>(thread_count(), n);
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(thread_count(), n));
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
