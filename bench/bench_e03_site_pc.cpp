@@ -19,10 +19,11 @@ int main(int argc, char** argv) {
 
   Table t({"n", "crossing P at p=0.55", "at p=0.5927", "at p=0.64", "half-crossing point"});
   for (const std::int32_t n : {32, 64, 128}) {
-    const double lo = crossing_probability(n, 0.55, trials, mix_seed(env.seed, n));
-    const double mid = crossing_probability(n, 0.5927, trials, mix_seed(env.seed, n + 1));
-    const double hi = crossing_probability(n, 0.64, trials, mix_seed(env.seed, n + 2));
-    const double pc = estimate_half_crossing_point(n, trials, mix_seed(env.seed, n + 3));
+    const auto stream = static_cast<std::uint64_t>(n);
+    const double lo = crossing_probability(n, 0.55, trials, mix_seed(env.seed, stream));
+    const double mid = crossing_probability(n, 0.5927, trials, mix_seed(env.seed, stream + 1));
+    const double hi = crossing_probability(n, 0.64, trials, mix_seed(env.seed, stream + 2));
+    const double pc = estimate_half_crossing_point(n, trials, mix_seed(env.seed, stream + 3));
     t.add_row({Table::fmt_int(n), Table::fmt(lo, 3), Table::fmt(mid, 3), Table::fmt(hi, 3),
                Table::fmt(pc, 4)});
   }

@@ -47,7 +47,9 @@ void stretch_report(BenchEnv& env, const std::string& model, const Overlay& over
     std::size_t exceed = 0;
     for (const double r : ratios) exceed += r > alpha;
     tail.add_row({Table::fmt(alpha, 3),
-                  Table::fmt(static_cast<double>(exceed) / std::max<std::size_t>(1, ratios.size()), 4)});
+                  Table::fmt(static_cast<double>(exceed) /
+                                 static_cast<double>(std::max<std::size_t>(1, ratios.size())),
+                             4)});
   }
   env.emit(model + " — exceedance tail (Theorem 3.2: exponential decay)", tail);
 }

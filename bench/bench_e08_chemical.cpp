@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     auto frac = [&](double a) {
       std::size_t c = 0;
       for (const double r : ratios) c += r > a;
-      return static_cast<double>(c) / ratios.size();
+      return static_cast<double>(c) / static_cast<double>(ratios.size());
     };
     tail.add_row({Table::fmt(p, 3), Table::fmt(frac(1.1), 4), Table::fmt(frac(1.3), 4),
                   Table::fmt(frac(1.6), 4), Table::fmt(frac(2.0), 4)});

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
     Table t({"window", "nodes", "elect msgs/node", "ctrl msgs/node", "energy/node (b=2)",
              "good tiles == centralized", "edges == centralized"});
     for (const int tiles : {6, 10, 14}) {
-      const UdgSensResult central = build_udg_sens(spec, 25.0, tiles, tiles, env.seed + tiles);
+      const UdgSensResult central =
+          build_udg_sens(spec, 25.0, tiles, tiles, env.seed + static_cast<std::uint64_t>(tiles));
       const GeoGraph udg = build_udg(central.points.points, central.points.window, 1.0);
       const ConstructOutcome proto = run_udg_construction(udg, spec, central.classification.window);
 
@@ -43,8 +44,9 @@ int main(int argc, char** argv) {
       const double n = static_cast<double>(udg.size());
       t.add_row({Table::fmt_int(tiles) + "x" + Table::fmt_int(tiles),
                  Table::fmt_int(static_cast<long long>(udg.size())),
-                 Table::fmt(proto.election_messages / n, 4),
-                 Table::fmt(proto.control_messages / n, 4), Table::fmt(proto.energy / n, 4),
+                 Table::fmt(static_cast<double>(proto.election_messages) / n, 4),
+                 Table::fmt(static_cast<double>(proto.control_messages) / n, 4),
+                 Table::fmt(proto.energy / n, 4),
                  good_eq ? "yes" : "NO", proto.edges == cen ? "yes" : "NO"});
     }
     env.emit("UDG-SENS protocol (strict spec, lambda = 25)", t);
@@ -63,14 +65,18 @@ int main(int argc, char** argv) {
     Table t({"quantity", "value"});
     t.add_row({"nodes", Table::fmt_int(static_cast<long long>(knn.size()))});
     t.add_row({"goodness agreement with centralized",
-               Table::fmt(static_cast<double>(agree) / proto.tile_good.size(), 4)});
+               Table::fmt(static_cast<double>(agree) / static_cast<double>(proto.tile_good.size()), 4)});
     t.add_row({"good tiles (protocol / centralized)",
                Table::fmt_int(static_cast<long long>(proto.good_count())) + " / " +
                    Table::fmt_int(static_cast<long long>(central.classification.good_count()))});
     t.add_row({"election messages / node",
-               Table::fmt(static_cast<double>(proto.election_messages) / knn.size(), 4)});
+               Table::fmt(static_cast<double>(proto.election_messages) /
+                              static_cast<double>(knn.size()),
+                          4)});
     t.add_row({"control messages / node",
-               Table::fmt(static_cast<double>(proto.control_messages) / knn.size(), 4)});
+               Table::fmt(static_cast<double>(proto.control_messages) /
+                              static_cast<double>(knn.size()),
+                          4)});
     t.add_row({"failed connects", Table::fmt_int(static_cast<long long>(proto.failed_connects))});
     env.emit("NN-SENS protocol (a = 0.893, k = 188) — occupancy counted from 1-hop PRESENT", t);
   }

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
     probe_msgs.add(static_cast<double>(rep.probe_messages));
     energy.add(rep.energy);
     node_hops.add(static_cast<double>(rep.node_hops));
-    per_tile.add(static_cast<double>(rep.total_messages) / std::max<std::size_t>(1, rep.tile_hops));
+    per_tile.add(static_cast<double>(rep.total_messages) /
+                 static_cast<double>(std::max<std::size_t>(1, rep.tile_hops)));
   }
 
   Table t({"metric", "mean", "min", "max"});

@@ -24,7 +24,8 @@ void BM_PoissonPointSet(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(poisson_point_set(w, 2.0, seed++).points);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 2.0 * side * side));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(static_cast<double>(state.iterations()) * 2.0 * side * side));
 }
 BENCHMARK(BM_PoissonPointSet)->Arg(16)->Arg(64);
 
@@ -58,7 +59,8 @@ void BM_KdTreeQuery(benchmark::State& state) {
   const KdTree tree(ps.points);
   std::uint32_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tree.nearest(ps.points[i % ps.size()], 16, i % ps.size()));
+    benchmark::DoNotOptimize(
+        tree.nearest(ps.points[i % ps.size()], 16, static_cast<std::uint32_t>(i % ps.size())));
     ++i;
   }
 }

@@ -86,12 +86,12 @@ int main(int argc, char** argv) {
             << "," << sink_site.y << ")\n\n";
   std::cout << "mode                 awake nodes   energy/packet   first battery death (round)\n";
   std::cout << "full UDG (min power) " << udg.size() << "          "
-            << total_udg / std::max<std::size_t>(1, delivered_udg) << "          "
+            << total_udg / static_cast<double>(std::max<std::size_t>(1, delivered_udg)) << "          "
             << (first_death_udg < 0 ? std::string("> ") + std::to_string(rounds)
                                     : std::to_string(first_death_udg))
             << "\n";
   std::cout << "UDG-SENS overlay     " << net.overlay.giant_size() << "           "
-            << total_sens / std::max<std::size_t>(1, delivered_sens) << "          "
+            << total_sens / static_cast<double>(std::max<std::size_t>(1, delivered_sens)) << "          "
             << (first_death_sens < 0 ? std::string("> ") + std::to_string(rounds)
                                      : std::to_string(first_death_sens))
             << "\n\n";

@@ -161,8 +161,10 @@ TEST(ConstructProtocol, MessageCostScalesWithNodes) {
   const auto proto_l = run_udg_construction(udg_l, spec, large.classification.window);
   // Messages grow with network size but stay locally bounded: the per-node
   // budget is O(region size), not O(network size).
-  const double per_node_s = static_cast<double>(proto_s.total_messages()) / udg_s.size();
-  const double per_node_l = static_cast<double>(proto_l.total_messages()) / udg_l.size();
+  const double per_node_s =
+      static_cast<double>(proto_s.total_messages()) / static_cast<double>(udg_s.size());
+  const double per_node_l =
+      static_cast<double>(proto_l.total_messages()) / static_cast<double>(udg_l.size());
   EXPECT_GT(proto_l.total_messages(), proto_s.total_messages());
   EXPECT_LT(per_node_l, per_node_s * 2.5);
 }

@@ -83,7 +83,9 @@ TEST(UdgSpec, CornerPointsServeTwoRelays) {
   const UdgTileSpec s = UdgTileSpec::strict();
   // A point in the overlap of the +x and +y lenses (DESIGN/paper remark).
   const Vec2 p{0.30, 0.30};
-  if (s.in_relay_region(p, 0)) EXPECT_TRUE(s.in_relay_region(p, 2));
+  if (s.in_relay_region(p, 0)) {
+    EXPECT_TRUE(s.in_relay_region(p, 2));
+  }
 }
 
 TEST(UdgSpec, AreasSumBelowTileArea) {
