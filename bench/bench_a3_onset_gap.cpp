@@ -16,11 +16,16 @@ namespace {
 
 double crossing_rate(const UdgTileSpec& spec, double lambda, int tiles, std::size_t reps,
                      std::uint64_t seed) {
-  std::size_t hits = 0;
-  for (std::size_t i = 0; i < reps; ++i) {
-    const UdgSensResult r = build_udg_sens(spec, lambda, tiles, tiles, mix_seed(seed, i));
-    hits += has_lr_crossing(r.overlay.sites);
-  }
+  // Each replicate builds an independent window from its own seed stream, so
+  // the replicate loop fans out over the chunked parallel layer and the hit
+  // count is bit-identical at any thread count.
+  const std::size_t hits = parallel_reduce(
+      reps, std::size_t{0},
+      [&](std::size_t i) -> std::size_t {
+        const UdgSensResult r = build_udg_sens(spec, lambda, tiles, tiles, mix_seed(seed, i));
+        return has_lr_crossing(r.overlay.sites) ? 1 : 0;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
   return static_cast<double>(hits) / static_cast<double>(reps);
 }
 

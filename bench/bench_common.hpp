@@ -1,24 +1,63 @@
 // Shared plumbing for the experiment binaries: every bench prints a header
 // naming the experiment and the paper claim it regenerates, then one or more
-// markdown tables (the rows EXPERIMENTS.md records). `--full` multiplies
-// replicate counts by 10; `--seed` reseeds the whole experiment; `--csv`
-// additionally dumps tables as CSV for plotting.
+// markdown tables (the rows EXPERIMENTS.md records). Flags:
+//   --full         multiply replicate counts by 10
+//   --scale N      set the replicate multiplier directly
+//   --seed S       reseed the whole experiment
+//   --threads N    worker count for the parallel layer (0 = hardware)
+//   --csv          additionally dump tables as CSV for plotting
+//   --json [FILE]  emit the whole run as one JSON document (to FILE, or to
+//                  stdout after the markdown when no FILE is given) so CI can
+//                  diff experiment results across PRs
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sens/support/cli.hpp"
+#include "sens/support/parallel.hpp"
 #include "sens/support/table.hpp"
 #include "sens/support/timer.hpp"
 
 namespace sens::bench {
 
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += hex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
 struct BenchEnv {
   std::size_t scale = 1;     ///< replicate multiplier (10 with --full)
   std::uint64_t seed = 0x5EB5;
   bool csv = false;
+  bool json = false;
+  std::string json_path;     ///< empty = stdout
   Timer timer;
 
   static BenchEnv parse(int argc, char** argv) {
@@ -28,25 +67,85 @@ struct BenchEnv {
     env.scale = static_cast<std::size_t>(cli.get("scale", static_cast<long>(env.scale)));
     env.seed = cli.get("seed", static_cast<unsigned long long>(env.seed));
     env.csv = cli.has("csv");
+    env.json = cli.has("json");
+    if (env.json) env.json_path = cli.get("json", std::string{});
+    const long threads = cli.get("threads", 0L);
+    if (threads > 0) set_thread_count(static_cast<unsigned>(threads));
     return env;
   }
 
-  void header(const std::string& id, const std::string& claim) const {
+  void header(const std::string& id, const std::string& claim) {
+    id_ = id;
+    claim_ = claim;
     std::cout << "\n### " << id << "\n";
     std::cout << "paper claim: " << claim << "\n";
     std::cout << "(seed=" << seed << ", scale=" << scale << ")\n\n";
   }
 
-  void emit(const std::string& title, const Table& table) const {
+  void emit(const std::string& title, const Table& table) {
     std::cout << "**" << title << "**\n\n";
     table.print(std::cout);
     if (csv) std::cout << "\ncsv:\n" << table.csv();
     std::cout << "\n";
+    if (json) tables_.emplace_back(title, table);
   }
 
-  void footer() const {
+  void footer() {
     std::cout << "elapsed: " << Table::fmt(timer.seconds(), 3) << " s\n";
+    if (!json) return;
+    const std::string doc = json_document();
+    if (json_path.empty()) {
+      std::cout << "\njson:\n" << doc << "\n";
+    } else {
+      std::ofstream out(json_path);
+      out << doc << "\n";
+      out.flush();
+      if (!out) {
+        std::cerr << "error: could not write " << json_path << "\n";
+        std::exit(1);  // a CI consumer must not diff a stale/missing file
+      }
+      std::cout << "json: wrote " << json_path << "\n";
+    }
   }
+
+ private:
+  [[nodiscard]] std::string json_document() const {
+    std::string doc = "{\"experiment\": \"" + json_escape(id_) + "\",\n";
+    doc += " \"claim\": \"" + json_escape(claim_) + "\",\n";
+    doc += " \"seed\": " + std::to_string(seed) + ",\n";
+    doc += " \"scale\": " + std::to_string(scale) + ",\n";
+    doc += " \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const auto& [title, table] = tables_[t];
+      doc += t == 0 ? "\n" : ",\n";
+      doc += "  {\"title\": \"" + json_escape(title) + "\",\n   \"headers\": [";
+      const auto& headers = table.headers();
+      for (std::size_t h = 0; h < headers.size(); ++h) {
+        doc += h == 0 ? "" : ", ";
+        doc += "\"" + json_escape(headers[h]) + "\"";
+      }
+      doc += "],\n   \"rows\": [";
+      for (std::size_t r = 0; r < table.rows(); ++r) {
+        doc += r == 0 ? "\n" : ",\n";
+        doc += "    [";
+        const auto& row = table.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          doc += c == 0 ? "" : ", ";
+          doc += "\"" + json_escape(row[c]) + "\"";
+        }
+        doc += "]";
+      }
+      doc += "]}";
+    }
+    // Deliberately no timing field: the document must be byte-identical
+    // across runs with the same seed/scale so CI can diff it directly.
+    doc += "]}";
+    return doc;
+  }
+
+  std::string id_;
+  std::string claim_;
+  std::vector<std::pair<std::string, Table>> tables_;
 };
 
 }  // namespace sens::bench

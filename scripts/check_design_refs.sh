@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Docs check: every DESIGN.md section cited from the tree must exist.
+#
+# Sources cite sections as "DESIGN.md §1.1", "DESIGN.md 1.1" or
+# "DESIGN.md §2"; this script extracts the cited numbers and requires a
+# matching markdown heading ("## 2. ..." / "### 1.1 ...") in DESIGN.md.
+# Run from anywhere; CI runs it in the docs-check job and ctest as
+# `docs.design_refs`.
+set -u
+cd "$(dirname "$0")/.."
+
+if [ ! -f DESIGN.md ]; then
+  echo "::error::DESIGN.md does not exist but the tree cites it"
+  exit 1
+fi
+
+refs=$(grep -rhoE "DESIGN\.md[^0-9]{0,3}§?[0-9]+(\.[0-9]+)*" \
+         src tests bench examples tools 2>/dev/null |
+       grep -oE "[0-9]+(\.[0-9]+)*" | sort -u)
+
+fail=0
+for sec in $refs; do
+  esc=$(printf '%s' "$sec" | sed 's/\./\\./g')
+  if ! grep -qE "^#+ +(§)?${esc}([^0-9.]|\.[^0-9]|\.?$)" DESIGN.md; then
+    echo "::error file=DESIGN.md::cited section ${sec} has no heading in DESIGN.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_design_refs: all cited DESIGN.md sections resolve ($(echo "$refs" | wc -w | tr -d ' ') sections)"
+fi
+exit $fail

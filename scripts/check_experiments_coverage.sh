@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Docs check: every bench_* source must be named in EXPERIMENTS.md.
+# Run from anywhere; CI runs it in the docs-check job and ctest as
+# `docs.experiments_coverage`.
+set -u
+cd "$(dirname "$0")/.."
+
+missing=0
+for f in bench/bench_*.cpp; do
+  name="$(basename "$f" .cpp)"
+  [ "$name" = "bench_common" ] && continue
+  if ! grep -q "\`$name\`" EXPERIMENTS.md; then
+    echo "::error file=EXPERIMENTS.md::missing entry for $name"
+    missing=1
+  fi
+done
+
+if [ "$missing" -eq 0 ]; then
+  echo "check_experiments_coverage: every bench binary is documented"
+fi
+exit $missing

@@ -8,8 +8,13 @@ namespace sens {
 std::vector<std::vector<std::uint32_t>> knn_selections(std::span<const Vec2> points, std::size_t k) {
   KdTree tree(points);
   std::vector<std::vector<std::uint32_t>> out(points.size());
-  parallel_for(points.size(), [&](std::size_t i) {
-    out[i] = tree.nearest(points[i], k, static_cast<std::uint32_t>(i));
+  // Chunked dispatch: one lambda invocation per index chunk, so per-chunk
+  // state (a KdTree scratch buffer, once nearest() grows a reusable-buffer
+  // overload — see ROADMAP) has a natural place to live.
+  parallel_for_chunks(points.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = tree.nearest(points[i], k, static_cast<std::uint32_t>(i));
+    }
   });
   return out;
 }

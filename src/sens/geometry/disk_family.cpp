@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "sens/support/parallel.hpp"
+
 namespace sens {
 
 DiskFamilyGenerator DiskFamilyGenerator::constant(Circle c, double r) {
@@ -83,9 +85,11 @@ bool DiskFamilyRegion::contains(Vec2 p, double eps) const { return margin(p) >= 
 ConvexPolygon DiskFamilyRegion::polygonize(Vec2 interior, double max_radius,
                                            std::size_t directions) const {
   if (!contains(interior, 1e-9)) return ConvexPolygon{};
-  std::vector<Vec2> verts;
-  verts.reserve(directions);
-  for (std::size_t i = 0; i < directions; ++i) {
+  // Each boundary ray is independent (contains() is const), so the casts run
+  // under the chunked parallel layer; vertex i is always the ray at angle
+  // 2*pi*i/directions, keeping the polygon bit-identical at any thread count.
+  std::vector<Vec2> verts(directions);
+  parallel_for(directions, [&](std::size_t i) {
     const double theta =
         2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(directions);
     const Vec2 dir = unit_vec(theta);
@@ -93,8 +97,8 @@ ConvexPolygon DiskFamilyRegion::polygonize(Vec2 interior, double max_radius,
     double hi = max_radius;
     // Expand hi only if needed (region could extend past max_radius guess).
     if (contains(interior + dir * hi)) {
-      verts.push_back(interior + dir * hi);
-      continue;
+      verts[i] = interior + dir * hi;
+      return;
     }
     for (int iter = 0; iter < 48; ++iter) {
       const double mid = (lo + hi) / 2.0;
@@ -103,8 +107,8 @@ ConvexPolygon DiskFamilyRegion::polygonize(Vec2 interior, double max_radius,
       else
         hi = mid;
     }
-    verts.push_back(interior + dir * lo);
-  }
+    verts[i] = interior + dir * lo;
+  });
   return ConvexPolygon(std::move(verts));
 }
 

@@ -35,11 +35,14 @@ bool has_lr_crossing(const SiteGrid& grid) {
 
 double crossing_probability(std::int32_t n, double p, std::size_t trials, std::uint64_t seed) {
   if (trials == 0) return 0.0;
-  const double hits = parallel_sum(trials, [&](std::size_t t) {
-    const SiteGrid grid = SiteGrid::random(n, n, p, mix_seed(seed, t));
-    return has_lr_crossing(grid) ? 1.0 : 0.0;
-  });
-  return hits / static_cast<double>(trials);
+  const std::size_t hits = parallel_reduce(
+      trials, std::size_t{0},
+      [&](std::size_t t) -> std::size_t {
+        const SiteGrid grid = SiteGrid::random(n, n, p, mix_seed(seed, t));
+        return has_lr_crossing(grid) ? 1 : 0;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  return static_cast<double>(hits) / static_cast<double>(trials);
 }
 
 double estimate_half_crossing_point(std::int32_t n, std::size_t trials_per_step,

@@ -1,43 +1,323 @@
-// Structured, deterministic fork/join parallelism.
+// Structured, deterministic fork/join parallelism (header-only).
 //
 // Monte-Carlo sweeps in this project are embarrassingly parallel over task
-// indices. `parallel_for` dispatches indices [0, n) over a fixed-size thread
-// pool; callers derive their randomness from the task index alone (see
-// sens/rng/rng.hpp), so every result is bit-identical regardless of the
-// number of worker threads. This follows the C++ Core Guidelines CP rules:
-// no shared mutable state inside tasks, joins are structured and exceptions
-// propagate to the caller.
+// indices. The layer hands out index *chunks* from an atomic cursor to a
+// persistent worker pool and invokes the caller's lambda directly — the only
+// type erasure is one function-pointer + context per parallel call, never a
+// `std::function` per index. Callers derive their randomness from the task
+// index alone (see sens/rng/rng.hpp), and `parallel_reduce` combines
+// per-chunk partials in chunk order with a chunk layout that depends only on
+// `n`, so every result is bit-identical regardless of the number of worker
+// threads. This follows the C++ Core Guidelines CP rules: no shared mutable
+// state inside tasks, joins are structured and exceptions propagate to the
+// caller. Nested parallel calls are safe: an inner call issued from inside a
+// parallel region runs its chunks inline, in chunk order, on the calling
+// worker (same chunk layout, hence the same deterministic result).
+//
+// Design notes (DESIGN.md §2 records the full contract):
+//   * chunk layout: ceil(n / 1024) indices per chunk, a pure function of n;
+//   * the worker pool is lazy, grows to the largest helper count requested,
+//     and is shared by all top-level calls (which serialize on a run mutex);
+//   * `set_thread_count(1)` (or a 1-core machine) short-circuits to the
+//     serial inline path — no pool, no atomics beyond the cursor.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
-#include <cstdint>
-#include <functional>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace sens {
 
 /// Number of workers used by default: hardware_concurrency, at least 1.
-[[nodiscard]] unsigned default_thread_count();
+[[nodiscard]] inline unsigned default_thread_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+namespace detail {
+
+inline std::atomic<unsigned>& thread_override() {
+  static std::atomic<unsigned> override_count{0};
+  return override_count;
+}
+
+/// True while the current thread is executing chunks of a parallel call;
+/// used to run nested calls inline instead of deadlocking on the pool.
+inline bool& in_parallel_region() {
+  thread_local bool in_region = false;
+  return in_region;
+}
+
+/// RAII: mark the current thread as inside a parallel region; restores the
+/// previous value on scope exit (exception-safe by construction).
+struct RegionGuard {
+  bool previous;
+  RegionGuard() : previous(in_parallel_region()) { in_parallel_region() = true; }
+  ~RegionGuard() { in_parallel_region() = previous; }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+};
+
+/// Deterministic chunk layout: a pure function of n (never of the worker
+/// count), so per-chunk reduction partials are identical at any parallelism.
+inline constexpr std::size_t kMaxChunks = 1024;
+
+[[nodiscard]] constexpr std::size_t chunk_size_for(std::size_t n) {
+  const std::size_t cs = (n + kMaxChunks - 1) / kMaxChunks;
+  return cs == 0 ? 1 : cs;
+}
+
+[[nodiscard]] constexpr std::size_t chunk_count_for(std::size_t n) {
+  const std::size_t cs = chunk_size_for(n);
+  return (n + cs - 1) / cs;
+}
+
+/// One parallel call: a function pointer + untyped context (erased once per
+/// call), an atomic cursor handing out chunks, and the first exception.
+struct ParallelJob {
+  using ChunkFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+  ChunkFn run_chunk;
+  void* ctx;
+  std::size_t n;
+  std::size_t chunk;
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  ParallelJob(ChunkFn fn, void* context, std::size_t count, std::size_t chunk_sz)
+      : run_chunk(fn), ctx(context), n(count), chunk(chunk_sz) {}
+
+  /// Pull chunks until the cursor is exhausted. Called by the submitting
+  /// thread and every participating worker.
+  void work() {
+    const RegionGuard region;
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = begin + chunk < n ? begin + chunk : n;
+      try {
+        run_chunk(ctx, begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        cursor.store(n, std::memory_order_relaxed);  // drain remaining work
+        break;
+      }
+    }
+  }
+};
+
+/// Persistent worker pool. Lazily constructed on the first parallel call
+/// that wants helpers; grows up to the largest helper count requested
+/// (bounded by kMaxPoolThreads); joined at process exit.
+class WorkerPool {
+ public:
+  static constexpr unsigned kMaxPoolThreads = 256;
+
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Execute `job` with up to `helpers` pool threads assisting the caller.
+  /// Top-level calls from distinct user threads serialize on `run_mutex_`.
+  void run(ParallelJob& job, unsigned helpers) {
+    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ensure_workers(helpers);
+      if (threads_.size() < helpers) helpers = static_cast<unsigned>(threads_.size());
+      job_ = &job;
+      pending_tickets_ = helpers;
+      active_workers_ = 0;
+    }
+    cv_.notify_all();
+    job.work();  // the caller is always a participant
+    std::unique_lock<std::mutex> lock(mutex_);
+    // The caller only returns from work() once the cursor is drained, so any
+    // worker that has not yet claimed its ticket would find no work anyway —
+    // abandon unclaimed tickets rather than waiting for every helper to be
+    // scheduled just to notice the job is done.
+    pending_tickets_ = 0;
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  WorkerPool() = default;
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void ensure_workers(unsigned helpers) {  // requires mutex_ held
+    if (helpers > kMaxPoolThreads) helpers = kMaxPoolThreads;
+    while (threads_.size() < helpers) threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && pending_tickets_ > 0); });
+      if (stop_) return;
+      --pending_tickets_;
+      ++active_workers_;
+      ParallelJob* job = job_;
+      lock.unlock();
+      job->work();
+      lock.lock();
+      --active_workers_;
+      if (pending_tickets_ == 0 && active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  std::mutex run_mutex_;  ///< serializes top-level parallel calls
+  std::mutex mutex_;      ///< guards all state below
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  ParallelJob* job_ = nullptr;
+  unsigned pending_tickets_ = 0;  ///< helper slots not yet claimed
+  unsigned active_workers_ = 0;   ///< helpers currently inside work()
+  bool stop_ = false;
+};
+
+/// Shared driver: dispatch [0, n) in chunks to `fn(ctx, begin, end)`.
+/// Serial path (single participant or nested call) walks the same chunk
+/// layout in chunk order, so reductions stay bit-identical.
+inline void run_chunked(std::size_t n, ParallelJob::ChunkFn fn, void* ctx) {
+  if (n == 0) return;
+  const std::size_t chunk = chunk_size_for(n);
+  const std::size_t chunks = chunk_count_for(n);
+  unsigned want = 0;  // participants, caller included
+  {
+    const unsigned configured = thread_override().load(std::memory_order_relaxed);
+    const unsigned cap = configured == 0 ? default_thread_count() : configured;
+    want = chunks < cap ? static_cast<unsigned>(chunks) : cap;
+  }
+  if (want <= 1 || in_parallel_region()) {
+    const RegionGuard region;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      fn(ctx, begin, begin + chunk < n ? begin + chunk : n);
+    }
+    return;
+  }
+  ParallelJob job(fn, ctx, n, chunk);
+  WorkerPool::instance().run(job, want - 1);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+template <typename Body>
+inline ParallelJob::ChunkFn make_index_trampoline() {
+  return [](void* ctx, std::size_t begin, std::size_t end) {
+    Body& body = *static_cast<Body*>(ctx);
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  };
+}
+
+}  // namespace detail
 
 /// Globally override the worker count (0 = use default_thread_count()).
 /// Intended for tests and benchmarks that need serial execution.
-void set_thread_count(unsigned n);
-[[nodiscard]] unsigned thread_count();
+inline void set_thread_count(unsigned n) {
+  detail::thread_override().store(n, std::memory_order_relaxed);
+}
+[[nodiscard]] inline unsigned thread_count() {
+  const unsigned n = detail::thread_override().load(std::memory_order_relaxed);
+  return n == 0 ? default_thread_count() : n;
+}
 
 /// Invoke `body(i)` for every i in [0, n). Order is unspecified; the call
 /// returns after all invocations complete. The first exception thrown by any
-/// task is rethrown in the caller.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+/// task is rethrown in the caller. Safe to call from inside another parallel
+/// call (the nested loop runs inline on the calling worker).
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  using BodyT = std::remove_reference_t<Body>;
+  detail::run_chunked(n, detail::make_index_trampoline<BodyT>(),
+                      const_cast<std::remove_const_t<BodyT>*>(std::addressof(body)));
+}
+
+/// Invoke `body(begin, end)` for half-open chunks covering [0, n). Use this
+/// when per-task state (scratch buffers, RNG streams, partial accumulators)
+/// is worth hoisting out of the per-index loop. The chunk layout is the
+/// deterministic one used by `parallel_reduce`.
+template <typename Body>
+void parallel_for_chunks(std::size_t n, Body&& body) {
+  using BodyT = std::remove_reference_t<Body>;
+  detail::run_chunked(
+      n,
+      [](void* ctx, std::size_t begin, std::size_t end) {
+        (*static_cast<BodyT*>(ctx))(begin, end);
+      },
+      const_cast<std::remove_const_t<BodyT>*>(std::addressof(body)));
+}
+
+/// Deterministic map-reduce over [0, n): each chunk left-folds `map(i)` with
+/// `combine` in index order, and the per-chunk partials are folded onto
+/// `init` in chunk order after the join. Because the chunk layout depends
+/// only on `n`, the result is bit-identical at every thread count (including
+/// non-associative floating-point combines). T must be default-constructible
+/// and movable.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(std::size_t n, T init, Map&& map, Combine&& combine) {
+  static_assert(!std::is_same_v<T, bool>,
+                "parallel_reduce<bool> would race on std::vector<bool>'s packed storage; "
+                "reduce to an integer count instead");
+  if (n == 0) return init;
+  const std::size_t chunk = detail::chunk_size_for(n);
+  std::vector<T> partials(detail::chunk_count_for(n));
+  struct Ctx {
+    std::remove_reference_t<Map>* map;
+    std::remove_reference_t<Combine>* combine;
+    std::vector<T>* partials;
+    std::size_t chunk;
+  } ctx{std::addressof(map), std::addressof(combine), &partials, chunk};
+  detail::run_chunked(
+      n,
+      [](void* raw, std::size_t begin, std::size_t end) {
+        Ctx& c = *static_cast<Ctx*>(raw);
+        T acc = (*c.map)(begin);
+        for (std::size_t i = begin + 1; i < end; ++i) acc = (*c.combine)(std::move(acc), (*c.map)(i));
+        (*c.partials)[begin / c.chunk] = std::move(acc);
+      },
+      &ctx);
+  T total = std::move(init);
+  for (T& p : partials) total = combine(std::move(total), std::move(p));
+  return total;
+}
 
 /// Map-reduce over [0, n): each task computes a double, the results are
-/// summed deterministically in index order after the join.
-[[nodiscard]] double parallel_sum(std::size_t n, const std::function<double(std::size_t)>& task);
+/// summed deterministically (per-chunk partials in chunk order).
+template <typename Task>
+[[nodiscard]] double parallel_sum(std::size_t n, Task&& task) {
+  return parallel_reduce(
+      n, 0.0, std::forward<Task>(task), [](double a, double b) { return a + b; });
+}
 
 /// Map over [0, n) into a vector (results placed at their task index).
-template <typename T>
-[[nodiscard]] std::vector<T> parallel_map(std::size_t n, const std::function<T(std::size_t)>& task) {
+template <typename T, typename Task>
+[[nodiscard]] std::vector<T> parallel_map(std::size_t n, Task&& task) {
+  static_assert(!std::is_same_v<T, bool>,
+                "parallel_map<bool> would race on std::vector<bool>'s packed storage; "
+                "map to std::uint8_t instead");
   std::vector<T> out(n);
-  parallel_for(n, [&](std::size_t i) { out[i] = task(i); });
+  parallel_for(n, [&out, &task](std::size_t i) { out[i] = task(i); });
   return out;
 }
 

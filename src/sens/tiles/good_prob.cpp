@@ -1,7 +1,6 @@
 #include "sens/tiles/good_prob.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "sens/geometry/box.hpp"
 #include "sens/geograph/point_set.hpp"
@@ -13,11 +12,14 @@ namespace sens {
 Proportion udg_good_probability(const UdgTileSpec& spec, double lambda, std::size_t trials,
                                 std::uint64_t seed) {
   const Box tile = Box::square({0.0, 0.0}, spec.side);
-  const double hits = parallel_sum(trials, [&](std::size_t t) {
-    const std::vector<Vec2> pts = poisson_points_in_box(tile, lambda, seed, t);
-    return udg_tile_good(spec, pts) ? 1.0 : 0.0;
-  });
-  return Proportion{static_cast<std::size_t>(hits), trials};
+  const std::size_t hits = parallel_reduce(
+      trials, std::size_t{0},
+      [&](std::size_t t) -> std::size_t {
+        const std::vector<Vec2> pts = poisson_points_in_box(tile, lambda, seed, t);
+        return udg_tile_good(spec, pts) ? 1 : 0;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  return Proportion{hits, trials};
 }
 
 double find_udg_lambda_threshold(const UdgTileSpec& spec, double target, std::size_t trials,

@@ -84,4 +84,11 @@ class NnTileSpec {
   std::array<ConvexPolygon, 4> e_polygons_;
 };
 
+/// Recompute the four E-region polygons for disk radius `a` straight from
+/// the disk-family oracle, bypassing the process-wide polygon cache (slow:
+/// ~0.7 s of ray casting). Used by tools/gen_nn_polygons to regenerate the
+/// baked table in nn_tile_polygons.inc and by the test that proves the baked
+/// table is bit-identical to a fresh computation.
+[[nodiscard]] std::array<ConvexPolygon, 4> compute_nn_e_polygons(double a);
+
 }  // namespace sens

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sens/support/cli.hpp"
@@ -174,14 +175,56 @@ TEST(ParallelTest, CoversAllIndices) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ParallelTest, SumDeterministicAcrossThreadCounts) {
+TEST(ParallelTest, ChunksPartitionTheIndexRange) {
+  // parallel_for_chunks hands out half-open, non-overlapping chunks that
+  // cover [0, n) exactly once, with the deterministic layout reduce uses.
+  constexpr std::size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  set_thread_count(4);
+  parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, n);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  set_thread_count(0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, SumBitIdenticalAcrossThreadCounts) {
+  // Floating-point addition is not associative, so bit-identical sums prove
+  // the reduction really combines per-chunk partials in a thread-count-
+  // independent order. EXPECT_EQ on doubles is an exact (bitwise) compare.
   auto task = [](std::size_t i) { return std::sin(static_cast<double>(i)) * 1e-3; };
   set_thread_count(1);
   const double serial = parallel_sum(5000, task);
-  set_thread_count(4);
-  const double parallel = parallel_sum(5000, task);
+  for (const unsigned threads : {2u, 3u, 5u, 8u}) {
+    set_thread_count(threads);
+    EXPECT_EQ(serial, parallel_sum(5000, task)) << "threads=" << threads;
+  }
   set_thread_count(0);
-  EXPECT_DOUBLE_EQ(serial, parallel);
+  EXPECT_EQ(serial, parallel_sum(5000, task)) << "default thread count";
+}
+
+TEST(ParallelTest, ReduceRespectsChunkOrderWithNonCommutativeCombine) {
+  // String concatenation is non-commutative: any out-of-order combine of the
+  // per-chunk partials would scramble the digits.
+  auto digits = [](std::size_t n) {
+    std::string serial;
+    for (std::size_t i = 0; i < n; ++i) serial += static_cast<char>('0' + i % 10);
+    return serial;
+  };
+  auto map = [](std::size_t i) { return std::string(1, static_cast<char>('0' + i % 10)); };
+  auto combine = [](std::string a, std::string b) { return a + b; };
+  set_thread_count(4);
+  EXPECT_EQ(parallel_reduce(3000, std::string{}, map, combine), digits(3000));
+  set_thread_count(0);
+}
+
+TEST(ParallelTest, ReduceDegenerateSizes) {
+  auto map = [](std::size_t i) { return static_cast<double>(i) + 1.0; };
+  auto add = [](double a, double b) { return a + b; };
+  EXPECT_DOUBLE_EQ(parallel_reduce(0, 42.0, map, add), 42.0);  // init passes through
+  EXPECT_DOUBLE_EQ(parallel_reduce(1, 0.5, map, add), 1.5);
 }
 
 TEST(ParallelTest, PropagatesException) {
@@ -192,11 +235,57 @@ TEST(ParallelTest, PropagatesException) {
                std::runtime_error);
 }
 
+TEST(ParallelTest, PropagatesExceptionFromWorkerChunks) {
+  // Force real pool threads and make every chunk throw: the first exception
+  // must drain the cursor and surface in the caller.
+  set_thread_count(4);
+  EXPECT_THROW(parallel_for(20000,
+                            [](std::size_t i) {
+                              if (i % 7 == 3) throw std::runtime_error("chunked boom");
+                            }),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parallel_reduce(
+          20000, 0.0,
+          [](std::size_t i) {
+            if (i == 19999) throw std::logic_error("last index");
+            return 0.0;
+          },
+          [](double a, double b) { return a + b; }),
+      std::logic_error);
+  set_thread_count(0);
+  // The pool must stay usable after an exceptional job.
+  EXPECT_DOUBLE_EQ(parallel_sum(10, [](std::size_t) { return 1.0; }), 10.0);
+}
+
+TEST(ParallelTest, NestedCallsRunInlineAndStayDeterministic) {
+  auto inner_task = [](std::size_t i) { return std::sin(static_cast<double>(i)) * 1e-3; };
+  set_thread_count(1);
+  const double expected = parallel_sum(2000, inner_task);
+  set_thread_count(4);
+  std::vector<double> inner(8, 0.0);
+  std::atomic<int> visits{0};
+  parallel_for(inner.size(), [&](std::size_t i) {
+    inner[i] = parallel_sum(2000, inner_task);  // nested: must not deadlock
+    visits.fetch_add(1);
+  });
+  set_thread_count(0);
+  EXPECT_EQ(visits.load(), 8);
+  for (const double v : inner) EXPECT_EQ(v, expected);  // bitwise, nested == serial
+}
+
 TEST(ParallelTest, MapPlacesResults) {
   const auto out = parallel_map<int>(64, [](std::size_t i) { return static_cast<int>(i * i); });
   ASSERT_EQ(out.size(), 64u);
   EXPECT_EQ(out[7], 49);
   EXPECT_EQ(out[63], 63 * 63);
+}
+
+TEST(ParallelTest, ThreadCountOverrideRoundTrip) {
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(0);
+  EXPECT_EQ(thread_count(), default_thread_count());
 }
 
 TEST(TimerTest, MeasuresSomething) {

@@ -199,6 +199,25 @@ TEST(NnSpec, InvalidParamsThrow) {
   EXPECT_THROW(NnTileSpec(1.0, 0), std::invalid_argument);
 }
 
+TEST(NnTilePolygonTable, BakedTableMatchesFreshComputation) {
+  // The baked table in nn_tile_polygons.inc seeds the spec's polygon cache
+  // so every fresh process skips ~0.7 s of ray casting. Recompute the paper
+  // geometry from the disk-family oracle and require bit-identical vertices:
+  // if the region geometry code changes, this fails and the table must be
+  // regenerated (tools/gen_nn_polygons, see its header for the command).
+  const NnTileSpec cached = NnTileSpec::paper();  // baked-table hit
+  const auto fresh = compute_nn_e_polygons(cached.a());
+  for (int dir = 0; dir < 4; ++dir) {
+    const auto& got = cached.e_polygon(dir).vertices();
+    const auto& want = fresh[static_cast<std::size_t>(dir)].vertices();
+    ASSERT_EQ(got.size(), want.size()) << "dir " << dir;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].x, want[i].x) << "dir " << dir << " vertex " << i;
+      ASSERT_EQ(got[i].y, want[i].y) << "dir " << dir << " vertex " << i;
+    }
+  }
+}
+
 TEST(GoodProb, UdgMonotoneInLambda) {
   const UdgTileSpec s = UdgTileSpec::paper();
   const double p1 = udg_good_probability(s, 4.0, 3000, 2).estimate();
