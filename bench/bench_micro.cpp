@@ -9,7 +9,10 @@
 #include "sens/geograph/udg.hpp"
 #include "sens/perc/clusters.hpp"
 #include "sens/perc/mesh_router.hpp"
+#include "sens/spatial/grid_index.hpp"
+#include "sens/spatial/grid_knn.hpp"
 #include "sens/spatial/kdtree.hpp"
+#include "sens/support/parallel.hpp"
 #include "sens/tiles/classify.hpp"
 #include "sens/tiles/good_prob.hpp"
 
@@ -65,6 +68,108 @@ void BM_KdTreeQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KdTreeQuery);
+
+void BM_KdTreeQueryScratch(benchmark::State& state) {
+  const Box w{{0.0, 0.0}, {64.0, 64.0}};
+  const PointSet ps = poisson_point_set(w, 2.0, 11);
+  const KdTree tree(ps.points);
+  KdTree::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    tree.nearest_into(ps.points[i % ps.size()], 16, static_cast<std::uint32_t>(i % ps.size()),
+                      scratch, out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_KdTreeQueryScratch);
+
+// The k-NN selection kernel, seed shape (PR 2): one allocating `nearest`
+// call per point, results in a nested vector<vector>. Serial loop so the
+// ratio against BM_KnnSelectScratch isolates the per-query cost.
+void BM_KnnSelectAlloc(benchmark::State& state) {
+  const Box w{{0.0, 0.0}, {32.0, 32.0}};
+  const PointSet ps = poisson_point_set(w, 2.0, 9);
+  const KdTree tree(ps.points);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::vector<std::uint32_t>> out(ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      out[i] = tree.nearest(ps.points[i], k, static_cast<std::uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ps.size()));
+}
+BENCHMARK(BM_KnnSelectAlloc)->Arg(8)->Arg(32)->Arg(188);
+
+// Same kernel, allocation-free batched shape: `GridKnn::nearest_into` with
+// one scratch, writing flat slices (what `knn_selections_flat` runs per
+// chunk). Returns identical neighbor lists to the kd-tree path.
+void BM_KnnSelectScratch(benchmark::State& state) {
+  const Box w{{0.0, 0.0}, {32.0, 32.0}};
+  const PointSet ps = poisson_point_set(w, 2.0, 9);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const GridKnn index(ps.points, k);
+  const std::size_t deg = std::min(k, ps.size() - 1);
+  FlatAdjacency adj;
+  adj.offsets.resize(ps.size() + 1);
+  adj.neighbors.resize(ps.size() * deg);
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> found;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      index.nearest_into(ps.points[i], k, static_cast<std::uint32_t>(i), scratch, found);
+      std::copy(found.begin(), found.end(),
+                adj.neighbors.begin() + static_cast<std::ptrdiff_t>(i * deg));
+    }
+    benchmark::DoNotOptimize(adj.neighbors.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ps.size()));
+}
+BENCHMARK(BM_KnnSelectScratch)->Arg(8)->Arg(32)->Arg(188);
+
+// The full chunk-parallel flat builder (tree construction included).
+void BM_KnnSelectionsFlat(benchmark::State& state) {
+  const Box w{{0.0, 0.0}, {32.0, 32.0}};
+  const PointSet ps = poisson_point_set(w, 2.0, 9);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn_selections_flat(ps.points, k).neighbors.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ps.size()));
+}
+BENCHMARK(BM_KnnSelectionsFlat)->Arg(8)->Arg(32)->Arg(188);
+
+void BM_GridRadiusAlloc(benchmark::State& state) {
+  const Box w{{0.0, 0.0}, {48.0, 48.0}};
+  const PointSet ps = poisson_point_set(w, 4.0, 7);
+  const GridIndex index(ps.points, w, 1.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.query_radius(ps.points[i % ps.size()], 1.0).data());
+    ++i;
+  }
+}
+BENCHMARK(BM_GridRadiusAlloc);
+
+void BM_GridRadiusInto(benchmark::State& state) {
+  const Box w{{0.0, 0.0}, {48.0, 48.0}};
+  const PointSet ps = poisson_point_set(w, 4.0, 7);
+  const GridIndex index(ps.points, w, 1.0);
+  std::vector<std::uint32_t> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    index.query_radius_into(ps.points[i % ps.size()], 1.0, out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_GridRadiusInto);
 
 void BM_ClusterLabeling(benchmark::State& state) {
   const auto n = static_cast<std::int32_t>(state.range(0));

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Diff two directories of bench --json artifacts (previous run vs current).
+#
+#   scripts/diff_bench_json.sh PREV_DIR CURR_DIR
+#
+# Prints a per-file report: files only in one directory are noted, common
+# files are byte-compared (the JSON documents are deliberately
+# timing-free, see bench/bench_common.hpp, so any diff is a result
+# change). Exits 0 always — CI runs this as a non-blocking report step;
+# the point is to make result drift visible, not to gate on it.
+set -u
+
+prev="${1:?usage: diff_bench_json.sh PREV_DIR CURR_DIR}"
+curr="${2:?usage: diff_bench_json.sh PREV_DIR CURR_DIR}"
+
+if [ ! -d "$prev" ] || [ -z "$(ls -A "$prev" 2>/dev/null)" ]; then
+  echo "diff_bench_json: no previous artifacts ($prev empty or missing) — baseline run"
+  exit 0
+fi
+
+changed=0
+for f in "$curr"/*.json; do
+  name="$(basename "$f")"
+  if [ ! -f "$prev/$name" ]; then
+    echo "NEW       $name (no previous artifact)"
+    continue
+  fi
+  if cmp -s "$prev/$name" "$f"; then
+    echo "identical $name"
+  else
+    echo "CHANGED   $name"
+    diff -u "$prev/$name" "$f" | head -40
+    changed=1
+  fi
+done
+for f in "$prev"/*.json; do
+  name="$(basename "$f")"
+  [ -f "$curr/$name" ] || echo "REMOVED   $name (present in previous run only)"
+done
+
+if [ "$changed" -eq 1 ]; then
+  echo
+  echo "diff_bench_json: results changed vs the previous run. Expected for"
+  echo "PRs that alter experiment math or seeds; NOT expected for pure"
+  echo "refactors (the builders' contract is bit-identical results at any"
+  echo "thread count, DESIGN.md §2.3)."
+fi
+exit 0

@@ -8,21 +8,30 @@
 #include <utility>
 #include <vector>
 
+#include "sens/support/parallel.hpp"
+
 namespace sens {
 
 namespace {
 
-/// Shared skeleton: keep the UDG edges passing `keep(u, v)`.
+/// Shared skeleton: keep the UDG edges passing `keep(u, v)`. The per-vertex
+/// tests are independent (they only read `udg`), so the scan runs on the
+/// chunk-ordered collector (DESIGN.md §2.3) — bench_e12 filters three
+/// spanners over the same UDG, and the result is bit-identical at any
+/// thread count.
 template <typename Keep>
 GeoGraph filter_edges(const GeoGraph& udg, Keep&& keep) {
   GeoGraph out;
   out.points = udg.points;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> kept;
-  for (std::uint32_t u = 0; u < udg.graph.num_vertices(); ++u) {
-    for (const std::uint32_t v : udg.graph.neighbors(u)) {
-      if (u < v && keep(u, v)) kept.emplace_back(u, v);
-    }
-  }
+  auto kept = collect_chunk_ordered<std::pair<std::uint32_t, std::uint32_t>>(
+      udg.graph.num_vertices(), [&](std::size_t begin, std::size_t end, auto& sink) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto u = static_cast<std::uint32_t>(i);
+          for (const std::uint32_t v : udg.graph.neighbors(u)) {
+            if (u < v && keep(u, v)) sink.emplace_back(u, v);
+          }
+        }
+      });
   out.graph = CsrGraph::from_edges(udg.points.size(), std::move(kept));
   return out;
 }
@@ -62,29 +71,34 @@ GeoGraph yao_graph(const GeoGraph& udg, std::size_t cones) {
   if (cones < 1) throw std::invalid_argument("yao_graph: cones < 1");
   GeoGraph out;
   out.points = udg.points;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> kept;
-  std::vector<std::uint32_t> best(cones);
-  std::vector<double> best_d2(cones);
-  for (std::uint32_t u = 0; u < udg.graph.num_vertices(); ++u) {
-    std::fill(best.begin(), best.end(), 0xffffffffu);
-    std::fill(best_d2.begin(), best_d2.end(), std::numeric_limits<double>::infinity());
-    for (const std::uint32_t v : udg.graph.neighbors(u)) {
-      const Vec2 delta = udg.points[v] - udg.points[u];
-      double angle = std::atan2(delta.y, delta.x);
-      if (angle < 0.0) angle += 2.0 * std::numbers::pi;
-      auto cone = static_cast<std::size_t>(angle / (2.0 * std::numbers::pi) *
-                                           static_cast<double>(cones));
-      if (cone >= cones) cone = cones - 1;
-      const double d2 = delta.norm2();
-      // Tie-break by index for determinism.
-      if (d2 < best_d2[cone] || (d2 == best_d2[cone] && v < best[cone])) {
-        best_d2[cone] = d2;
-        best[cone] = v;
-      }
-    }
-    for (const std::uint32_t v : best)
-      if (v != 0xffffffffu) kept.emplace_back(u, v);
-  }
+  auto kept = collect_chunk_ordered<std::pair<std::uint32_t, std::uint32_t>>(
+      udg.graph.num_vertices(), [&](std::size_t begin, std::size_t end, auto& sink) {
+        // Per-cone winner buffers hoisted to chunk scope: allocated once
+        // per chunk, not once per vertex.
+        std::vector<std::uint32_t> best(cones);
+        std::vector<double> best_d2(cones);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto u = static_cast<std::uint32_t>(i);
+          std::fill(best.begin(), best.end(), 0xffffffffu);
+          std::fill(best_d2.begin(), best_d2.end(), std::numeric_limits<double>::infinity());
+          for (const std::uint32_t v : udg.graph.neighbors(u)) {
+            const Vec2 delta = udg.points[v] - udg.points[u];
+            double angle = std::atan2(delta.y, delta.x);
+            if (angle < 0.0) angle += 2.0 * std::numbers::pi;
+            auto cone = static_cast<std::size_t>(angle / (2.0 * std::numbers::pi) *
+                                                 static_cast<double>(cones));
+            if (cone >= cones) cone = cones - 1;
+            const double d2 = delta.norm2();
+            // Tie-break by index for determinism.
+            if (d2 < best_d2[cone] || (d2 == best_d2[cone] && v < best[cone])) {
+              best_d2[cone] = d2;
+              best[cone] = v;
+            }
+          }
+          for (const std::uint32_t v : best)
+            if (v != 0xffffffffu) sink.emplace_back(u, v);
+        }
+      });
   out.graph = CsrGraph::from_edges(udg.points.size(), std::move(kept));
   return out;
 }

@@ -75,13 +75,13 @@ Proportion empty_box_probability(const Overlay& overlay, double ell, std::size_t
   for (std::size_t t = 0; t < trials; ++t) {
     const Vec2 lo{bounds.lo.x + rng.uniform() * span_x, bounds.lo.y + rng.uniform() * span_y};
     const Box box{lo, {lo.x + ell, lo.y + ell}};
-    // Any giant node in the box? Query the circumscribed radius then filter.
-    bool empty = true;
-    index.for_each_in_radius(box.center(), ell * 0.7071067811865476 + 1e-9,
-                             [&](std::uint32_t j) {
-                               if (empty && box.contains(giant_points[j])) empty = false;
-                             });
-    if (empty) ++result.successes;
+    // Any giant node in the box? Query the circumscribed radius, filter, and
+    // stop the scan at the first hit (the visitor template inlines; no
+    // std::function in the trial loop).
+    const bool occupied = index.for_each_in_radius_until(
+        box.center(), ell * 0.7071067811865476 + 1e-9,
+        [&](std::uint32_t j) { return box.contains(giant_points[j]); });
+    if (!occupied) ++result.successes;
   }
   return result;
 }

@@ -8,7 +8,8 @@ namespace sens {
 
 namespace {
 
-/// Lazy cache of k-NN selections for the (few) overlay nodes.
+/// Lazy cache of k-NN selections for the (few) overlay nodes. Queries go
+/// through one reused scratch buffer, so only the cached result allocates.
 class KnnEdgeOracle {
  public:
   KnnEdgeOracle(const KdTree& tree, std::size_t k) : tree_(&tree), k_(k) {}
@@ -21,15 +22,17 @@ class KnnEdgeOracle {
   [[nodiscard]] bool selects(std::uint32_t from, std::uint32_t to) {
     auto it = cache_.find(from);
     if (it == cache_.end()) {
-      auto sel = tree_->nearest(tree_->points()[from], k_, from);
-      std::sort(sel.begin(), sel.end());
-      it = cache_.emplace(from, std::move(sel)).first;
+      tree_->nearest_into(tree_->points()[from], k_, from, scratch_, found_);
+      std::sort(found_.begin(), found_.end());
+      it = cache_.emplace(from, found_).first;
     }
     return std::binary_search(it->second.begin(), it->second.end(), to);
   }
 
   const KdTree* tree_;
   std::size_t k_;
+  KdTree::QueryScratch scratch_;
+  std::vector<std::uint32_t> found_;
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> cache_;
 };
 

@@ -1,32 +1,64 @@
 #include "sens/geograph/knn.hpp"
 
-#include "sens/spatial/kdtree.hpp"
+#include <algorithm>
+
+#include "sens/spatial/grid_knn.hpp"
 #include "sens/support/parallel.hpp"
 
 namespace sens {
 
-std::vector<std::vector<std::uint32_t>> knn_selections(std::span<const Vec2> points, std::size_t k) {
-  KdTree tree(points);
-  std::vector<std::vector<std::uint32_t>> out(points.size());
-  // Chunked dispatch: one lambda invocation per index chunk, so per-chunk
-  // state (a KdTree scratch buffer, once nearest() grows a reusable-buffer
-  // overload — see ROADMAP) has a natural place to live.
-  parallel_for_chunks(points.size(), [&](std::size_t begin, std::size_t end) {
+FlatAdjacency knn_selections_flat(std::span<const Vec2> points, std::size_t k) {
+  const std::size_t n = points.size();
+  FlatAdjacency adj;
+  adj.offsets.assign(n + 1, 0);
+  if (n == 0) return adj;
+  // Every vertex has exactly min(k, n - 1) out-neighbors (self excluded), so
+  // the offsets are uniform and each chunk writes its own disjoint slice.
+  const std::size_t deg = std::min(k, n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    adj.offsets[i + 1] = static_cast<std::uint32_t>((i + 1) * deg);
+  adj.neighbors.resize(n * deg);
+  if (deg == 0) return adj;
+
+  // GridKnn returns the same neighbor lists as KdTree::nearest (same
+  // (distance, index) tie-break) and wins on the batched self-query
+  // workload; one scratch per chunk keeps the hot path allocation-free.
+  const GridKnn index(points, k);
+  auto fill = [&](std::size_t begin, std::size_t end, GridKnn::QueryScratch& scratch,
+                  std::vector<std::uint32_t>& found) {
     for (std::size_t i = begin; i < end; ++i) {
-      out[i] = tree.nearest(points[i], k, static_cast<std::uint32_t>(i));
+      index.nearest_into(points[i], k, static_cast<std::uint32_t>(i), scratch, found);
+      std::copy(found.begin(), found.end(),
+                adj.neighbors.begin() + static_cast<std::ptrdiff_t>(i * deg));
     }
-  });
-  return out;
+  };
+  if (thread_count() == 1) {
+    GridKnn::QueryScratch scratch;
+    std::vector<std::uint32_t> found;
+    fill(0, n, scratch, found);
+  } else {
+    parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+      GridKnn::QueryScratch scratch;
+      std::vector<std::uint32_t> found;
+      fill(begin, end, scratch, found);
+    });
+  }
+  return adj;
+}
+
+std::vector<std::vector<std::uint32_t>> knn_selections(std::span<const Vec2> points,
+                                                       std::size_t k) {
+  return knn_selections_flat(points, k).to_nested();
 }
 
 GeoGraph build_knn_graph(std::span<const Vec2> points, std::size_t k) {
   GeoGraph gg;
   gg.points.assign(points.begin(), points.end());
-  const auto selections = knn_selections(points, k);
+  const FlatAdjacency selections = knn_selections_flat(points, k);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
-  edges.reserve(points.size() * k);
+  edges.reserve(selections.neighbors.size());
   for (std::uint32_t i = 0; i < selections.size(); ++i)
-    for (std::uint32_t j : selections[i]) edges.emplace_back(i, j);
+    for (const std::uint32_t j : selections[i]) edges.emplace_back(i, j);
   gg.graph = CsrGraph::from_edges(points.size(), std::move(edges));
   return gg;
 }

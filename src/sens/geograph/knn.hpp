@@ -5,6 +5,7 @@
 
 #include <span>
 
+#include "sens/geograph/flat_adjacency.hpp"
 #include "sens/geograph/geo_graph.hpp"
 
 namespace sens {
@@ -13,8 +14,15 @@ namespace sens {
 /// broken by point index, per the paper's "any tie-breaking mechanism".
 [[nodiscard]] GeoGraph build_knn_graph(std::span<const Vec2> points, std::size_t k);
 
-/// Directed out-neighbor lists (each vertex's k nearest), useful for tests
-/// and for the occupancy-cap ablation.
+/// Directed out-neighbor lists (each vertex's min(k, n-1) nearest, sorted by
+/// (distance, index)) in flat CSR form. Built chunk-parallel with one
+/// kd-tree scratch buffer per chunk — allocation-free per query, and every
+/// vertex's slice is written independently, so the result is identical at
+/// any thread count.
+[[nodiscard]] FlatAdjacency knn_selections_flat(std::span<const Vec2> points, std::size_t k);
+
+/// Legacy nested-vector shape of `knn_selections_flat`, kept for tests and
+/// the occupancy-cap ablation.
 [[nodiscard]] std::vector<std::vector<std::uint32_t>> knn_selections(std::span<const Vec2> points,
                                                                      std::size_t k);
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sens/spatial/grid_index.hpp"
+#include "sens/support/parallel.hpp"
 
 namespace sens {
 
@@ -11,14 +12,19 @@ GeoGraph build_udg(std::span<const Vec2> points, Box bounds, double radius) {
   GeoGraph gg;
   gg.points.assign(points.begin(), points.end());
 
-  GridIndex index(points, bounds, radius);
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
-  edges.reserve(points.size() * 4);
-  for (std::uint32_t i = 0; i < points.size(); ++i) {
-    index.for_each_in_radius(points[i], radius, [&](std::uint32_t j) {
-      if (j > i) edges.emplace_back(i, j);
-    });
-  }
+  const GridIndex index(points, bounds, radius);
+  // Chunk-parallel edge discovery via the chunk-ordered collector
+  // (DESIGN.md §2.3): the edge list is bit-identical at any thread count.
+  auto edges = collect_chunk_ordered<std::pair<std::uint32_t, std::uint32_t>>(
+      points.size(), [&](std::size_t begin, std::size_t end, auto& sink) {
+        sink.reserve(sink.size() + (end - begin) * 4);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto u = static_cast<std::uint32_t>(i);
+          index.for_each_in_radius(points[i], radius, [&](std::uint32_t j) {
+            if (j > u) sink.emplace_back(u, j);
+          });
+        }
+      });
   gg.graph = CsrGraph::from_edges(points.size(), std::move(edges));
   return gg;
 }

@@ -5,6 +5,7 @@
 
 #include "sens/runtime/radio.hpp"
 #include "sens/runtime/sim.hpp"
+#include "sens/support/parallel.hpp"
 
 namespace sens {
 
@@ -267,13 +268,16 @@ ConstructOutcome run_udg_construction(const GeoGraph& udg, const UdgTileSpec& sp
   ConstructEngine engine(udg, window, /*nn_mode=*/false, /*required_slots=*/5,
                          /*occupancy_cap=*/0);
   const Tiling tiling(spec.side);
-  std::vector<std::pair<std::uint32_t, unsigned>> roles(udg.size(), {kNoNode, 0u});
-  for (std::uint32_t v = 0; v < udg.size(); ++v) {
-    const TileCoord t = tiling.tile_of(udg.points[v]);
-    if (!window.contains(t)) continue;
-    const unsigned mask = udg_region_mask(spec, tiling.local(udg.points[v], t));
-    roles[v] = {static_cast<std::uint32_t>(window.index(t)), mask};
-  }
+  // Role assignment (tile + region mask per node) is a pure point-in-region
+  // test per vertex — batched over the parallel layer; the protocol itself
+  // stays sequential (it is an event simulation).
+  const auto roles = parallel_map<std::pair<std::uint32_t, unsigned>>(
+      udg.size(), [&](std::size_t v) -> std::pair<std::uint32_t, unsigned> {
+        const TileCoord t = tiling.tile_of(udg.points[v]);
+        if (!window.contains(t)) return {kNoNode, 0u};
+        const unsigned mask = udg_region_mask(spec, tiling.local(udg.points[v], t));
+        return {static_cast<std::uint32_t>(window.index(t)), mask};
+      });
   engine.set_roles(roles);
   return engine.run();
 }
@@ -283,13 +287,13 @@ ConstructOutcome run_nn_construction(const GeoGraph& knn, const NnTileSpec& spec
   ConstructEngine engine(knn, window, /*nn_mode=*/true, /*required_slots=*/9,
                          spec.max_occupancy());
   const Tiling tiling(spec.side());
-  std::vector<std::pair<std::uint32_t, unsigned>> roles(knn.size(), {kNoNode, 0u});
-  for (std::uint32_t v = 0; v < knn.size(); ++v) {
-    const TileCoord t = tiling.tile_of(knn.points[v]);
-    if (!window.contains(t)) continue;
-    const unsigned mask = spec.region_mask(tiling.local(knn.points[v], t));
-    roles[v] = {static_cast<std::uint32_t>(window.index(t)), mask};
-  }
+  const auto roles = parallel_map<std::pair<std::uint32_t, unsigned>>(
+      knn.size(), [&](std::size_t v) -> std::pair<std::uint32_t, unsigned> {
+        const TileCoord t = tiling.tile_of(knn.points[v]);
+        if (!window.contains(t)) return {kNoNode, 0u};
+        const unsigned mask = spec.region_mask(tiling.local(knn.points[v], t));
+        return {static_cast<std::uint32_t>(window.index(t)), mask};
+      });
   engine.set_roles(roles);
   return engine.run();
 }

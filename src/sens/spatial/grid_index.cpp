@@ -1,7 +1,5 @@
 #include "sens/spatial/grid_index.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace sens {
@@ -30,35 +28,6 @@ std::size_t GridIndex::cell_of(Vec2 p) const {
   ix = std::clamp<long>(ix, 0, static_cast<long>(nx_) - 1);
   iy = std::clamp<long>(iy, 0, static_cast<long>(ny_) - 1);
   return static_cast<std::size_t>(iy) * nx_ + static_cast<std::size_t>(ix);
-}
-
-void GridIndex::for_each_in_radius(Vec2 q, double radius,
-                                   const std::function<void(std::uint32_t)>& fn) const {
-  const double r2 = radius * radius;
-  const long reach = std::max<long>(1, static_cast<long>(std::ceil(radius / cell_size_)));
-  const long cx = std::clamp<long>(static_cast<long>(std::floor((q.x - bounds_.lo.x) / cell_size_)),
-                                   0, static_cast<long>(nx_) - 1);
-  const long cy = std::clamp<long>(static_cast<long>(std::floor((q.y - bounds_.lo.y) / cell_size_)),
-                                   0, static_cast<long>(ny_) - 1);
-  for (long dy = -reach; dy <= reach; ++dy) {
-    const long y = cy + dy;
-    if (y < 0 || y >= static_cast<long>(ny_)) continue;
-    for (long dx = -reach; dx <= reach; ++dx) {
-      const long x = cx + dx;
-      if (x < 0 || x >= static_cast<long>(nx_)) continue;
-      const std::size_t cell = static_cast<std::size_t>(y) * nx_ + static_cast<std::size_t>(x);
-      for (std::uint32_t k = offsets_[cell]; k < offsets_[cell + 1]; ++k) {
-        const std::uint32_t j = order_[k];
-        if (dist2(points_[j], q) <= r2) fn(j);
-      }
-    }
-  }
-}
-
-std::vector<std::uint32_t> GridIndex::query_radius(Vec2 q, double radius) const {
-  std::vector<std::uint32_t> out;
-  for_each_in_radius(q, radius, [&](std::uint32_t j) { out.push_back(j); });
-  return out;
 }
 
 }  // namespace sens

@@ -4,11 +4,17 @@
 // points into cells of side >= query radius makes that a 3x3 cell scan per
 // point. Storage is CSR-style (offsets + permuted indices), cache friendly
 // and allocation free at query time.
+//
+// The visitor entry points are templates (header-only hot path): the
+// caller's lambda is invoked directly with zero type erasure — no
+// `std::function` construction or indirect call per query, which matters
+// because `build_udg` issues one query per point (DESIGN.md §2.3).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -23,13 +29,64 @@ class GridIndex {
   /// > 0). Points outside `bounds` are clamped into the edge cells.
   GridIndex(std::span<const Vec2> points, Box bounds, double cell_size);
 
-  /// Invoke `fn(j)` for every point j with dist(points[j], q) <= radius.
-  /// `radius` must be <= cell_size for the 3x3 scan to be exhaustive;
-  /// larger radii scan proportionally more cells.
-  void for_each_in_radius(Vec2 q, double radius, const std::function<void(std::uint32_t)>& fn) const;
+  /// Invoke `visit(j)` for every point j with dist(points[j], q) <= radius.
+  /// Exhaustive for every radius: the scan covers ceil(radius / cell_size)
+  /// rings of cells around q's cell (3x3 when radius <= cell_size, growing
+  /// quadratically for larger radii). Visit order is deterministic:
+  /// row-major over cells, then bucket order within a cell.
+  template <typename Visitor>
+  void for_each_in_radius(Vec2 q, double radius, Visitor&& visit) const {
+    for_each_in_radius_until(q, radius, [&](std::uint32_t j) {
+      visit(j);
+      return false;
+    });
+  }
 
-  /// Collect variant of for_each_in_radius.
-  [[nodiscard]] std::vector<std::uint32_t> query_radius(Vec2 q, double radius) const;
+  /// Like `for_each_in_radius`, but `visit(j)` returns true to stop the
+  /// scan early. Returns true when a visitor stopped it (i.e. some point
+  /// satisfied the visitor), false when the scan ran to completion.
+  template <typename Visitor>
+  bool for_each_in_radius_until(Vec2 q, double radius, Visitor&& visit) const {
+    const double r2 = radius * radius;
+    const long reach = std::max<long>(1, static_cast<long>(std::ceil(radius / cell_size_)));
+    const long cx = std::clamp<long>(
+        static_cast<long>(std::floor((q.x - bounds_.lo.x) / cell_size_)), 0,
+        static_cast<long>(nx_) - 1);
+    const long cy = std::clamp<long>(
+        static_cast<long>(std::floor((q.y - bounds_.lo.y) / cell_size_)), 0,
+        static_cast<long>(ny_) - 1);
+    const long y_lo = std::max<long>(cy - reach, 0);
+    const long y_hi = std::min<long>(cy + reach, static_cast<long>(ny_) - 1);
+    const long x_lo = std::max<long>(cx - reach, 0);
+    const long x_hi = std::min<long>(cx + reach, static_cast<long>(nx_) - 1);
+    for (long y = y_lo; y <= y_hi; ++y) {
+      for (long x = x_lo; x <= x_hi; ++x) {
+        const std::size_t cell = static_cast<std::size_t>(y) * nx_ + static_cast<std::size_t>(x);
+        for (std::uint32_t k = offsets_[cell]; k < offsets_[cell + 1]; ++k) {
+          const std::uint32_t j = order_[k];
+          if (dist2(points_[j], q) <= r2 && visit(j)) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// CSR-style collector: write every index within `radius` of q into `out`
+  /// (cleared first; capacity is reused — allocation-free once warm).
+  /// Returns the number written. Order is the deterministic scan order of
+  /// `for_each_in_radius`, NOT sorted.
+  std::size_t query_radius_into(Vec2 q, double radius, std::vector<std::uint32_t>& out) const {
+    out.clear();
+    for_each_in_radius(q, radius, [&](std::uint32_t j) { out.push_back(j); });
+    return out.size();
+  }
+
+  /// Allocating wrapper over `query_radius_into`.
+  [[nodiscard]] std::vector<std::uint32_t> query_radius(Vec2 q, double radius) const {
+    std::vector<std::uint32_t> out;
+    query_radius_into(q, radius, out);
+    return out;
+  }
 
   [[nodiscard]] std::size_t size() const { return points_.size(); }
   [[nodiscard]] std::span<const Vec2> points() const { return points_; }

@@ -1,0 +1,249 @@
+#include "sens/spatial/grid_knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sens {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+GridKnn::GridKnn(std::span<const Vec2> points, std::size_t expected_k)
+    : points_(points.begin(), points.end()) {
+  if (points_.empty()) return;
+  Vec2 hi = points_[0];
+  lo_ = points_[0];
+  for (const Vec2& p : points_) {
+    lo_.x = std::min(lo_.x, p.x);
+    lo_.y = std::min(lo_.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  const double w = std::max(hi.x - lo_.x, 1e-9);
+  const double h = std::max(hi.y - lo_.y, 1e-9);
+  const double density = static_cast<double>(points_.size()) / (w * h);
+  // Target ~k/4 (streaming) or ~k/16 (selection) points per cell, floored
+  // so the grid never exceeds ~4n cells (degenerate aspect-ratio guard).
+  const double per_cell =
+      static_cast<double>(std::max<std::size_t>(expected_k, 1)) /
+      (expected_k > kStreamingMaxK ? 16.0 : 4.0);
+  cell_ = std::max(1e-9, std::sqrt(per_cell / density));
+  nx_ = std::max(1L, static_cast<long>(std::ceil(w / cell_)));
+  ny_ = std::max(1L, static_cast<long>(std::ceil(h / cell_)));
+  // Cap the grid at ~4n cells. The per-axis ceil makes this a doubling loop
+  // rather than a closed form: a degenerate aspect ratio (e.g. collinear
+  // points) floors one axis at a single cell while the other explodes.
+  const long max_cells = 4 * static_cast<long>(points_.size()) + 8;
+  while (nx_ * ny_ > max_cells) {
+    cell_ *= 2.0;
+    nx_ = std::max(1L, static_cast<long>(std::ceil(w / cell_)));
+    ny_ = std::max(1L, static_cast<long>(std::ceil(h / cell_)));
+  }
+
+  const std::size_t cells = static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  auto cell_of = [&](Vec2 p) {
+    const long ix =
+        std::clamp(static_cast<long>(std::floor((p.x - lo_.x) / cell_)), 0L, nx_ - 1);
+    const long iy =
+        std::clamp(static_cast<long>(std::floor((p.y - lo_.y) / cell_)), 0L, ny_ - 1);
+    return static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(ix);
+  };
+  std::vector<std::uint32_t> counts(cells, 0);
+  for (const Vec2& p : points_) ++counts[cell_of(p)];
+  offsets_.assign(cells + 1, 0);
+  for (std::size_t c = 0; c < cells; ++c) offsets_[c + 1] = offsets_[c] + counts[c];
+  order_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::uint32_t i = 0; i < points_.size(); ++i) order_[cursor[cell_of(points_[i])]++] = i;
+}
+
+/// Streaming path: a sorted bounded candidate array on the stack
+/// (k <= kStreamingMaxK). The initial 3x3 block — which resolves almost
+/// every query at the tuned cell size — is scanned as contiguous row spans
+/// (cells of a row are adjacent in the CSR arrays); outer rings add
+/// per-cell lower-bound filtering against the current k-th best. Returns
+/// the candidate count.
+std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
+                                   QueryScratch::Candidate* best) const {
+  std::size_t cnt = 0;
+  double worst = kInf;
+  const long cx =
+      std::clamp(static_cast<long>(std::floor((q.x - lo_.x) / cell_)), 0L, nx_ - 1);
+  const long cy =
+      std::clamp(static_cast<long>(std::floor((q.y - lo_.y) / cell_)), 0L, ny_ - 1);
+  const long max_ring = std::max(std::max(cx, nx_ - 1 - cx), std::max(cy, ny_ - 1 - cy));
+
+  auto offer = [&](std::uint32_t idx) {
+    const double dx = points_[idx].x - q.x;
+    const double dy = points_[idx].y - q.y;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 > worst) return;
+    if (idx == exclude) return;
+    // With a full set, a candidate tying the k-th distance only wins on a
+    // smaller index.
+    if (cnt == k && d2 == best[k - 1].d2 && idx > best[k - 1].idx) return;
+    // Manual shift-insert into the sorted array (measurably faster than
+    // std::vector::insert at these sizes).
+    std::size_t pos = cnt < k ? cnt : k - 1;
+    if (cnt < k) ++cnt;
+    while (pos > 0 &&
+           (best[pos - 1].d2 > d2 || (best[pos - 1].d2 == d2 && best[pos - 1].idx > idx))) {
+      best[pos] = best[pos - 1];
+      --pos;
+    }
+    best[pos] = {d2, idx};
+    if (cnt == k) worst = best[k - 1].d2;
+  };
+
+  /// One row of cells [xa, xb] at row y: a single contiguous bucket span.
+  auto scan_row = [&](long y, long xa, long xb) {
+    if (y < 0 || y >= ny_) return;
+    xa = std::max(xa, 0L);
+    xb = std::min(xb, nx_ - 1);
+    if (xa > xb) return;
+    const std::size_t base = static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_);
+    const std::uint32_t t0 = offsets_[base + static_cast<std::size_t>(xa)];
+    const std::uint32_t t1 = offsets_[base + static_cast<std::size_t>(xb) + 1];
+    for (std::uint32_t t = t0; t < t1; ++t) offer(order_[t]);
+  };
+
+  auto scan_cell = [&](long x, long y) {
+    if (x < 0 || x >= nx_ || y < 0 || y >= ny_) return;
+    // Lower bound from q to the cell rectangle; a cell that cannot beat the
+    // current k-th best (`>` keeps equal-distance ties visible) is skipped.
+    const double gx = std::max({0.0, lo_.x + static_cast<double>(x) * cell_ - q.x,
+                                q.x - (lo_.x + static_cast<double>(x + 1) * cell_)});
+    const double gy = std::max({0.0, lo_.y + static_cast<double>(y) * cell_ - q.y,
+                                q.y - (lo_.y + static_cast<double>(y + 1) * cell_)});
+    if (gx * gx + gy * gy > worst) return;
+    const std::size_t c =
+        static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) + static_cast<std::size_t>(x);
+    for (std::uint32_t t = offsets_[c]; t < offsets_[c + 1]; ++t) offer(order_[t]);
+  };
+
+  // Unscanned points lie beyond the scanned square's boundary; a side the
+  // square has already pushed past the grid imposes no bound. Stop once the
+  // k-th best strictly beats that bound (`<`, so ties at the cutoff
+  // distance are still collected from the next ring).
+  auto done_after = [&](long r) {
+    if (cnt != k) return false;
+    const double left = cx - r > 0 ? q.x - (lo_.x + static_cast<double>(cx - r) * cell_) : kInf;
+    const double right =
+        cx + r < nx_ - 1 ? (lo_.x + static_cast<double>(cx + r + 1) * cell_) - q.x : kInf;
+    const double bot = cy - r > 0 ? q.y - (lo_.y + static_cast<double>(cy - r) * cell_) : kInf;
+    const double top =
+        cy + r < ny_ - 1 ? (lo_.y + static_cast<double>(cy + r + 1) * cell_) - q.y : kInf;
+    const double dmin = std::min(std::min(left, right), std::min(bot, top));
+    return worst < dmin * dmin;
+  };
+
+  // Rings 0 and 1 together: three contiguous row spans.
+  const long first = std::min(1L, max_ring);
+  for (long y = cy - first; y <= cy + first; ++y) scan_row(y, cx - first, cx + first);
+  if (done_after(first)) return cnt;
+
+  for (long r = first + 1; r <= max_ring; ++r) {
+    scan_row(cy - r, cx - r, cx + r);
+    scan_row(cy + r, cx - r, cx + r);
+    for (long y = cy - r + 1; y <= cy + r - 1; ++y) {
+      scan_cell(cx - r, y);
+      scan_cell(cx + r, y);
+    }
+    if (done_after(r)) break;
+  }
+  return cnt;
+}
+
+/// Selection path: collect per ring (filtered by the current k-th best once
+/// known), prune with nth_element, stop on the same ring bound.
+void GridKnn::collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
+                            std::vector<QueryScratch::Candidate>& cands) const {
+  double worst = kInf;
+  const long cx =
+      std::clamp(static_cast<long>(std::floor((q.x - lo_.x) / cell_)), 0L, nx_ - 1);
+  const long cy =
+      std::clamp(static_cast<long>(std::floor((q.y - lo_.y) / cell_)), 0L, ny_ - 1);
+  const long max_ring = std::max(std::max(cx, nx_ - 1 - cx), std::max(cy, ny_ - 1 - cy));
+
+  auto scan_cell = [&](long x, long y) {
+    if (x < 0 || x >= nx_ || y < 0 || y >= ny_) return;
+    const double gx = std::max({0.0, lo_.x + static_cast<double>(x) * cell_ - q.x,
+                                q.x - (lo_.x + static_cast<double>(x + 1) * cell_)});
+    const double gy = std::max({0.0, lo_.y + static_cast<double>(y) * cell_ - q.y,
+                                q.y - (lo_.y + static_cast<double>(y + 1) * cell_)});
+    if (gx * gx + gy * gy > worst) return;
+    const std::size_t c =
+        static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) + static_cast<std::size_t>(x);
+    for (std::uint32_t t = offsets_[c]; t < offsets_[c + 1]; ++t) {
+      const std::uint32_t idx = order_[t];
+      if (idx == exclude) continue;
+      const double dx = points_[idx].x - q.x;
+      const double dy = points_[idx].y - q.y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 > worst) continue;  // `>` keeps equal-distance ties in play
+      cands.push_back({d2, idx});
+    }
+  };
+
+  for (long r = 0; r <= max_ring; ++r) {
+    const long x0 = cx - r;
+    const long x1 = cx + r;
+    const long y0 = cy - r;
+    const long y1 = cy + r;
+    if (r == 0) {
+      scan_cell(cx, cy);
+    } else {
+      for (long x = x0; x <= x1; ++x) {
+        scan_cell(x, y0);
+        scan_cell(x, y1);
+      }
+      for (long y = y0 + 1; y <= y1 - 1; ++y) {
+        scan_cell(x0, y);
+        scan_cell(x1, y);
+      }
+    }
+    if (cands.size() < k) continue;
+    const double left = x0 > 0 ? q.x - (lo_.x + static_cast<double>(x0) * cell_) : kInf;
+    const double right =
+        x1 < nx_ - 1 ? (lo_.x + static_cast<double>(x1 + 1) * cell_) - q.x : kInf;
+    const double bot = y0 > 0 ? q.y - (lo_.y + static_cast<double>(y0) * cell_) : kInf;
+    const double top =
+        y1 < ny_ - 1 ? (lo_.y + static_cast<double>(y1 + 1) * cell_) - q.y : kInf;
+    const double dmin = std::min(std::min(left, right), std::min(bot, top));
+    // Prune to the k best so far; the (d2, idx) comparator is a strict
+    // total order, so the prefix after nth_element is exactly the k best
+    // and everything beyond can be dropped. nth_element also runs when the
+    // buffer holds exactly k — `worst` must be the k-th best, not whatever
+    // was pushed last.
+    std::nth_element(cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(k) - 1,
+                     cands.end());
+    if (cands.size() > k) cands.resize(k);
+    worst = cands[k - 1].d2;
+    if (worst < dmin * dmin) break;
+  }
+  std::sort(cands.begin(), cands.end());
+}
+
+std::size_t GridKnn::nearest_into(Vec2 q, std::size_t k, std::uint32_t exclude,
+                                  QueryScratch& scratch, std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (points_.empty() || k == 0) return 0;
+  if (k <= kStreamingMaxK) {
+    QueryScratch::Candidate best[kStreamingMaxK];
+    const std::size_t cnt = collect_small(q, k, exclude, best);
+    out.resize(cnt);
+    for (std::size_t i = 0; i < cnt; ++i) out[i] = best[i].idx;
+    return cnt;
+  }
+  auto& cands = scratch.cands;
+  cands.clear();
+  collect_large(q, k, exclude, cands);
+  out.resize(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) out[i] = cands[i].idx;
+  return out.size();
+}
+
+}  // namespace sens

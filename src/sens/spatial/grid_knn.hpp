@@ -1,0 +1,78 @@
+// Exact k-nearest-neighbor queries over a uniform grid (expanding rings).
+//
+// The batched k-NN selection workload — every point of a Poisson set asks
+// for its k nearest — is better served by a bucket grid than a kd-tree: the
+// answer is almost always inside the 3x3 cell neighborhood, so a Chebyshev
+// ring expansion touches O(k) candidates with no tree traversal at all.
+// This engine is exact (not approximate): rings expand until the k-th best
+// distance provably beats the nearest unscanned cell boundary, and ties are
+// broken by (distance, index) exactly like `KdTree::nearest`, so both
+// engines return identical neighbor lists on any input (asserted by
+// `GridKnnParamTest.MatchesKdTreeOracle`). `knn_selections_flat` drives it
+// chunk-parallel with one scratch per chunk (DESIGN.md §2.3).
+//
+// Cell size is tuned at construction for an expected query size k; queries
+// with other k values stay exact, only ring granularity is off-tune.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sens/geometry/vec2.hpp"
+
+namespace sens {
+
+class GridKnn {
+ public:
+  /// Build over `points`, tuning the cell size for queries of ~`expected_k`
+  /// neighbors (any k stays exact). Bounds are the point bounding box.
+  GridKnn(std::span<const Vec2> points, std::size_t expected_k);
+
+  static constexpr std::uint32_t npos = 0xffffffffu;
+
+  /// Caller-owned scratch; one per thread/chunk, contents opaque.
+  struct QueryScratch {
+    struct Candidate {
+      double d2;
+      std::uint32_t idx;
+      bool operator<(const Candidate& o) const {
+        return d2 != o.d2 ? d2 < o.d2 : idx < o.idx;
+      }
+    };
+    std::vector<Candidate> cands;
+  };
+
+  /// Indices of the k points nearest to `q`, excluding index `exclude`
+  /// (npos = exclude nothing), sorted by (distance, index), written into
+  /// `out` (cleared first; capacity reused). Returns the count written.
+  /// Identical results to `KdTree::nearest_into` on the same points.
+  std::size_t nearest_into(Vec2 q, std::size_t k, std::uint32_t exclude, QueryScratch& scratch,
+                           std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::span<const Vec2> points() const { return points_; }
+
+ private:
+  std::size_t collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
+                            QueryScratch::Candidate* best) const;
+  void collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
+                     std::vector<QueryScratch::Candidate>& cands) const;
+
+  std::vector<Vec2> points_;
+  Vec2 lo_{0.0, 0.0};
+  double cell_ = 1.0;
+  long nx_ = 1;
+  long ny_ = 1;
+  std::vector<std::uint32_t> offsets_;  // nx*ny + 1
+  std::vector<std::uint32_t> order_;    // point indices grouped by cell
+
+  /// Up to this k the candidate set is a sorted array maintained by
+  /// insertion while streaming cells; beyond it, candidates are collected
+  /// per ring and selected with nth_element (the O(k) insertion memmove
+  /// loses to selection at NN-SENS sizes, k = 188).
+  static constexpr std::size_t kStreamingMaxK = 48;
+};
+
+}  // namespace sens

@@ -13,6 +13,8 @@ KdTree::KdTree(std::span<const Vec2> points) : points_(points.begin(), points.en
     nodes_.reserve(2 * points_.size() / kLeafSize + 4);
     root_ = build(0, static_cast<std::uint32_t>(points_.size()), 0);
   }
+  leaf_points_.resize(points_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) leaf_points_[i] = points_[order_[i]];
 }
 
 std::uint32_t KdTree::build(std::uint32_t begin, std::uint32_t end, int depth) {
@@ -42,61 +44,104 @@ std::uint32_t KdTree::build(std::uint32_t begin, std::uint32_t end, int depth) {
 }
 
 void KdTree::search(std::uint32_t node_id, Vec2 q, std::size_t k, std::uint32_t exclude,
-                    std::vector<Candidate>& heap) const {
+                    bool use_heap, std::vector<QueryScratch::Candidate>& best, double mindist,
+                    double* axis_dist) const {
   const Node& node = nodes_[node_id];
   if (node.leaf) {
-    for (std::uint32_t i = node.begin; i < node.end; ++i) {
-      const std::uint32_t idx = order_[i];
+    // Two passes: distances first (a tight, vectorizable loop over the
+    // leaf-contiguous points), then the filtered candidate insertions.
+    double d2s[kLeafSize];
+    const std::uint32_t count = node.end - node.begin;
+    const Vec2* pts = leaf_points_.data() + node.begin;
+    for (std::uint32_t i = 0; i < count; ++i) d2s[i] = dist2(pts[i], q);
+    double worst = best.size() < k ? std::numeric_limits<double>::infinity()
+                                   : (use_heap ? best.front().d2 : best.back().d2);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      // `>` not `>=`: a candidate tying the current worst can still win its
+      // slot on the (distance, index) tie-break.
+      if (d2s[i] > worst) continue;
+      const std::uint32_t idx = order_[node.begin + i];
       if (idx == exclude) continue;
-      const Candidate cand{dist2(points_[idx], q), idx};
-      if (heap.size() < k) {
-        heap.push_back(cand);
-        std::push_heap(heap.begin(), heap.end());
-      } else if (cand < heap.front()) {
-        std::pop_heap(heap.begin(), heap.end());
-        heap.back() = cand;
-        std::push_heap(heap.begin(), heap.end());
+      const QueryScratch::Candidate cand{d2s[i], idx};
+      if (use_heap) {
+        if (best.size() < k) {
+          best.push_back(cand);
+          std::push_heap(best.begin(), best.end());
+        } else if (cand < best.front()) {
+          std::pop_heap(best.begin(), best.end());
+          best.back() = cand;
+          std::push_heap(best.begin(), best.end());
+        }
+        if (best.size() == k) worst = best.front().d2;
+      } else {
+        if (best.size() == k && !(cand < best.back())) continue;
+        best.insert(std::upper_bound(best.begin(), best.end(), cand), cand);
+        if (best.size() > k) best.pop_back();
+        if (best.size() == k) worst = best.back().d2;
       }
     }
     return;
   }
-  const double qv = node.axis == 0 ? q.x : q.y;
+  const std::uint8_t axis = node.axis;
+  const double qv = axis == 0 ? q.x : q.y;
   const double delta = qv - static_cast<double>(node.split);
   const std::uint32_t near = delta <= 0.0 ? node.left : node.right;
   const std::uint32_t far = delta <= 0.0 ? node.right : node.left;
-  search(near, q, k, exclude, heap);
-  const double worst =
-      heap.size() < k ? std::numeric_limits<double>::infinity() : heap.front().d2;
-  // Visit the far side when the splitting plane could hide closer points or
-  // equal-distance ties (<=, so deterministic tie-breaking by index sees all
-  // candidates at the cutoff distance).
-  if (delta * delta <= worst) search(far, q, k, exclude, heap);
+  search(near, q, k, exclude, use_heap, best, mindist, axis_dist);
+  const double worst = best.size() < k ? std::numeric_limits<double>::infinity()
+                                       : (use_heap ? best.front().d2 : best.back().d2);
+  // Lower bound for the far subtree: the accumulated per-axis offsets of
+  // every ancestor split crossed so far, with this axis's contribution
+  // replaced by the current plane's offset. Visit when the bound could
+  // still hide closer points or equal-distance ties (<=, so deterministic
+  // tie-breaking by index sees all candidates at the cutoff distance).
+  const double cut = delta * delta;
+  const double far_min = mindist - axis_dist[axis] + cut;
+  if (far_min <= worst) {
+    const double saved = axis_dist[axis];
+    axis_dist[axis] = cut;
+    search(far, q, k, exclude, use_heap, best, far_min, axis_dist);
+    axis_dist[axis] = saved;
+  }
+}
+
+std::size_t KdTree::nearest_into(Vec2 q, std::size_t k, std::uint32_t exclude,
+                                 QueryScratch& scratch, std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (points_.empty() || k == 0) return 0;
+  auto& best = scratch.best;
+  best.clear();
+  const bool use_heap = k > kSortedInsertMaxK;
+  best.reserve(std::min(k, points_.size()) + 1);
+  double axis_dist[2] = {0.0, 0.0};
+  search(root_, q, k, exclude, use_heap, best, 0.0, axis_dist);
+  if (use_heap) std::sort(best.begin(), best.end());
+  out.resize(best.size());
+  for (std::size_t i = 0; i < best.size(); ++i) out[i] = best[i].idx;
+  return out.size();
 }
 
 std::vector<std::uint32_t> KdTree::nearest(Vec2 q, std::size_t k, std::uint32_t exclude) const {
+  QueryScratch scratch;
   std::vector<std::uint32_t> out;
-  if (points_.empty() || k == 0) return out;
-  std::vector<Candidate> heap;
-  heap.reserve(k + 1);
-  search(root_, q, k, exclude, heap);
-  std::sort(heap.begin(), heap.end());
-  out.reserve(heap.size());
-  for (const auto& c : heap) out.push_back(c.idx);
+  nearest_into(q, k, exclude, scratch, out);
   return out;
 }
 
-std::vector<std::uint32_t> KdTree::query_radius(Vec2 q, double radius) const {
-  std::vector<std::uint32_t> out;
-  if (points_.empty()) return out;
+std::size_t KdTree::query_radius_into(Vec2 q, double radius, QueryScratch& scratch,
+                                      std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (points_.empty()) return 0;
   const double r2 = radius * radius;
-  std::vector<std::uint32_t> stack{root_};
+  auto& stack = scratch.stack;
+  stack.clear();
+  stack.push_back(root_);
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
     if (node.leaf) {
       for (std::uint32_t i = node.begin; i < node.end; ++i) {
-        const std::uint32_t idx = order_[i];
-        if (dist2(points_[idx], q) <= r2) out.push_back(idx);
+        if (dist2(leaf_points_[i], q) <= r2) out.push_back(order_[i]);
       }
       continue;
     }
@@ -106,6 +151,13 @@ std::vector<std::uint32_t> KdTree::query_radius(Vec2 q, double radius) const {
     if (-delta <= radius) stack.push_back(node.right);
   }
   std::sort(out.begin(), out.end());
+  return out.size();
+}
+
+std::vector<std::uint32_t> KdTree::query_radius(Vec2 q, double radius) const {
+  QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  query_radius_into(q, radius, scratch, out);
   return out;
 }
 

@@ -1,10 +1,20 @@
 // 2-d kd-tree for k-nearest-neighbor queries, used to build NN(2, k).
 //
-// Median-split construction (O(n log n)), array-backed nodes, iterative-ish
-// recursive query with a bounded max-heap of the k best candidates. Ties in
-// distance are broken by point index, matching the paper's remark that any
-// measurable tie-break rule is acceptable (ties are measure zero under a
-// Poisson process but appear in adversarial tests).
+// Median-split construction (O(n log n)), array-backed nodes, leaf points
+// stored contiguously in traversal order (cache-friendly leaf scans),
+// recursive query over a bounded candidate set. Ties in distance are broken
+// by point index, matching the paper's remark that any measurable tie-break
+// rule is acceptable (ties are measure zero under a Poisson process but
+// appear in adversarial tests).
+//
+// The query entry points come in two flavors (DESIGN.md §2.3):
+//   * `nearest_into` / `query_radius_into` write into caller-owned buffers
+//     and reuse a caller-owned `QueryScratch` — allocation-free after the
+//     first call, which is what the batched graph builders
+//     (`knn_selections_flat`, `build_udg`) drive from `parallel_for_chunks`
+//     with one scratch per chunk.
+//   * `nearest` / `query_radius` are thin allocating wrappers kept for
+//     one-off queries and tests.
 #pragma once
 
 #include <cstdint>
@@ -19,13 +29,41 @@ class KdTree {
  public:
   explicit KdTree(std::span<const Vec2> points);
 
-  /// Indices of the k points nearest to `q`, excluding index `exclude`
-  /// (pass npos to exclude nothing), sorted by (distance, index).
   static constexpr std::uint32_t npos = 0xffffffffu;
+
+  /// Caller-owned scratch for the *_into queries. One instance per thread
+  /// (or per chunk of a `parallel_for_chunks` body); reusing it across
+  /// queries makes the hot path allocation-free. The contents are opaque:
+  /// any query may clobber them.
+  struct QueryScratch {
+    struct Candidate {
+      double d2;
+      std::uint32_t idx;
+      bool operator<(const Candidate& o) const {
+        return d2 != o.d2 ? d2 < o.d2 : idx < o.idx;
+      }
+    };
+    std::vector<Candidate> best;       ///< bounded k-best candidate set
+    std::vector<std::uint32_t> stack;  ///< node stack for radius queries
+  };
+
+  /// Indices of the k points nearest to `q`, excluding index `exclude`
+  /// (pass npos to exclude nothing), sorted by (distance, index), written
+  /// into `out` (cleared first; capacity is reused). Returns the number of
+  /// indices written: min(k, size() minus the excluded point).
+  std::size_t nearest_into(Vec2 q, std::size_t k, std::uint32_t exclude, QueryScratch& scratch,
+                           std::vector<std::uint32_t>& out) const;
+
+  /// Allocating wrapper over `nearest_into`.
   [[nodiscard]] std::vector<std::uint32_t> nearest(Vec2 q, std::size_t k,
                                                    std::uint32_t exclude = npos) const;
 
-  /// All indices within `radius` of q.
+  /// All indices within `radius` of q, sorted ascending, written into `out`
+  /// (cleared first; capacity is reused). Returns the number written.
+  std::size_t query_radius_into(Vec2 q, double radius, QueryScratch& scratch,
+                                std::vector<std::uint32_t>& out) const;
+
+  /// Allocating wrapper over `query_radius_into`.
   [[nodiscard]] std::vector<std::uint32_t> query_radius(Vec2 q, double radius) const;
 
   [[nodiscard]] std::size_t size() const { return points_.size(); }
@@ -44,23 +82,21 @@ class KdTree {
 
   std::uint32_t build(std::uint32_t begin, std::uint32_t end, int depth);
 
-  std::vector<Vec2> points_;
-  std::vector<std::uint32_t> order_;
+  void search(std::uint32_t node, Vec2 q, std::size_t k, std::uint32_t exclude, bool use_heap,
+              std::vector<QueryScratch::Candidate>& best, double mindist,
+              double* axis_dist) const;
+
+  std::vector<Vec2> points_;            // original order (points() accessor)
+  std::vector<std::uint32_t> order_;    // leaf-order permutation
+  std::vector<Vec2> leaf_points_;       // points_[order_[i]], contiguous per leaf
   std::vector<Node> nodes_;
   std::uint32_t root_ = 0;
 
-  static constexpr std::uint32_t kLeafSize = 16;
-
-  struct Candidate {
-    double d2;
-    std::uint32_t idx;
-    bool operator<(const Candidate& o) const {
-      return d2 != o.d2 ? d2 < o.d2 : idx < o.idx;  // heap: max at top via std::less
-    }
-  };
-
-  void search(std::uint32_t node, Vec2 q, std::size_t k, std::uint32_t exclude,
-              std::vector<Candidate>& heap) const;
+  static constexpr std::uint32_t kLeafSize = 8;
+  /// Candidate sets up to this k are kept as a sorted array (branchy insert,
+  /// no final sort); larger k falls back to a max-heap whose O(log k)
+  /// replacement beats the O(k) memmove (NN-SENS queries at k = 188).
+  static constexpr std::size_t kSortedInsertMaxK = 48;
 };
 
 }  // namespace sens

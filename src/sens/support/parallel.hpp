@@ -232,6 +232,25 @@ inline ParallelJob::ChunkFn make_index_trampoline() {
 
 }  // namespace detail
 
+/// The deterministic chunk layout used by every parallel_* call: a pure
+/// function of `n`, never of the worker count. Callers that collect
+/// per-chunk results (e.g. the UDG builder's per-chunk edge buffers) index
+/// them with `index_of(begin)` and concatenate in chunk order, which makes
+/// the concatenation identical to a serial left-to-right pass at any thread
+/// count (DESIGN.md §2.3).
+struct ChunkLayout {
+  std::size_t size;   ///< indices per chunk, ceil(n / 1024) (>= 1)
+  std::size_t count;  ///< number of chunks covering [0, n)
+
+  /// Chunk index of the chunk starting at `begin` (as handed to the body of
+  /// `parallel_for_chunks`).
+  [[nodiscard]] constexpr std::size_t index_of(std::size_t begin) const { return begin / size; }
+};
+
+[[nodiscard]] constexpr ChunkLayout chunk_layout(std::size_t n) {
+  return {detail::chunk_size_for(n), detail::chunk_count_for(n)};
+}
+
 /// Globally override the worker count (0 = use default_thread_count()).
 /// Intended for tests and benchmarks that need serial execution.
 inline void set_thread_count(unsigned n) {
@@ -308,6 +327,33 @@ template <typename Task>
 [[nodiscard]] double parallel_sum(std::size_t n, Task&& task) {
   return parallel_reduce(
       n, 0.0, std::forward<Task>(task), [](double a, double b) { return a + b; });
+}
+
+/// Chunk-ordered collection (DESIGN.md §2.3): run `scan(begin, end, sink)`
+/// over [0, n) — each invocation appending any number of T's to its sink —
+/// and return all results concatenated in chunk order. Because the chunk
+/// layout is a pure function of n, the output equals one serial
+/// left-to-right pass at any thread count (single-participant runs take
+/// exactly that short-circuit: one sink, one scan call). This is the shared
+/// scaffold of the variable-output graph builders (`build_udg`, the spanner
+/// filters).
+template <typename T, typename Scan>
+[[nodiscard]] std::vector<T> collect_chunk_ordered(std::size_t n, Scan&& scan) {
+  std::vector<T> out;
+  if (thread_count() == 1) {
+    scan(std::size_t{0}, n, out);
+    return out;
+  }
+  const ChunkLayout layout = chunk_layout(n);
+  std::vector<std::vector<T>> chunks(layout.count);
+  parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+    scan(begin, end, chunks[layout.index_of(begin)]);
+  });
+  std::size_t total = 0;
+  for (const auto& c : chunks) total += c.size();
+  out.reserve(total);
+  for (const auto& c : chunks) out.insert(out.end(), c.begin(), c.end());
+  return out;
 }
 
 /// Map over [0, n) into a vector (results placed at their task index).

@@ -5,6 +5,7 @@
 #include "sens/geograph/point_set.hpp"
 #include "sens/geograph/udg.hpp"
 #include "sens/graph/components.hpp"
+#include "sens/support/parallel.hpp"
 
 namespace sens {
 namespace {
@@ -51,6 +52,23 @@ TEST_P(SpannerSeedTest, YaoPreservesConnectivityWithSixCones) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpannerSeedTest, ::testing::Range<std::uint64_t>(1, 7));
+
+// The chunk-parallel edge filters (DESIGN.md §2.3) must produce the same
+// spanner at every thread count.
+TEST(Spanners, BitIdenticalAcrossThreadCounts) {
+  const GeoGraph udg = dense_udg(99);
+  set_thread_count(1);
+  const auto gg1 = gabriel_graph(udg).graph.edge_list();
+  const auto rng1 = relative_neighborhood_graph(udg).graph.edge_list();
+  const auto yao1 = yao_graph(udg, 6).graph.edge_list();
+  for (const unsigned threads : {2u, 8u}) {
+    set_thread_count(threads);
+    EXPECT_EQ(gabriel_graph(udg).graph.edge_list(), gg1) << threads << " threads";
+    EXPECT_EQ(relative_neighborhood_graph(udg).graph.edge_list(), rng1) << threads << " threads";
+    EXPECT_EQ(yao_graph(udg, 6).graph.edge_list(), yao1) << threads << " threads";
+  }
+  set_thread_count(0);
+}
 
 TEST(Gabriel, RejectsWitnessedEdge) {
   // Midpoint witness kills the long edge.

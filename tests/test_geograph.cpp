@@ -8,6 +8,8 @@
 #include "sens/geograph/knn.hpp"
 #include "sens/geograph/point_set.hpp"
 #include "sens/geograph/udg.hpp"
+#include "sens/spatial/kdtree.hpp"
+#include "sens/support/parallel.hpp"
 #include "sens/support/stats.hpp"
 
 namespace sens {
@@ -129,6 +131,77 @@ TEST(Knn, GraphIsUndirectedUnion) {
   }
   // Undirected union => min degree >= k (every vertex selects k others).
   for (std::uint32_t u = 0; u < ps.size(); ++u) EXPECT_GE(g.graph.degree(u), k);
+}
+
+// Restore the default worker count even if an assertion fails mid-test.
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { set_thread_count(0); }
+};
+
+TEST(Knn, FlatSelectionsRoundTripAgainstNested) {
+  const Box w{{0.0, 0.0}, {10.0, 10.0}};
+  const PointSet ps = poisson_point_set(w, 2.0, 4711);  // pinned seed
+  const std::size_t k = 6;
+  const FlatAdjacency flat = knn_selections_flat(ps.points, k);
+  ASSERT_EQ(flat.size(), ps.size());
+  ASSERT_EQ(flat.offsets.front(), 0u);
+  ASSERT_EQ(flat.offsets.back(), flat.neighbors.size());
+  // Per-vertex slices equal the legacy nested shape and the kd-tree oracle.
+  const auto nested = knn_selections(ps.points, k);
+  const KdTree tree(ps.points);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat.degree(i), std::min(k, ps.size() - 1));
+    const auto slice = flat[i];
+    EXPECT_TRUE(std::equal(slice.begin(), slice.end(), nested[i].begin(), nested[i].end()));
+    const auto oracle = tree.nearest(ps.points[i], k, static_cast<std::uint32_t>(i));
+    EXPECT_TRUE(std::equal(slice.begin(), slice.end(), oracle.begin(), oracle.end()));
+  }
+  // to_nested round-trips exactly.
+  EXPECT_EQ(flat.to_nested(), nested);
+}
+
+TEST(Knn, FlatSelectionsKLargerThanN) {
+  const auto flat = knn_selections_flat(std::vector<Vec2>{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}}, 10);
+  ASSERT_EQ(flat.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(flat.degree(i), 2u);
+  const FlatAdjacency none = knn_selections_flat({}, 5);
+  EXPECT_EQ(none.size(), 0u);
+  const FlatAdjacency single = knn_selections_flat(std::vector<Vec2>{{1.0, 1.0}}, 5);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single.degree(0), 0u);
+}
+
+// DESIGN.md §2.3: chunk-ordered edge collection makes graph builds
+// bit-identical at any thread count.
+TEST(Udg, EdgeListBitIdenticalAcrossThreadCounts) {
+  const ThreadCountGuard guard;
+  const Box w{{0.0, 0.0}, {14.0, 14.0}};
+  const PointSet ps = poisson_point_set(w, 3.0, 8472);
+  set_thread_count(1);
+  const auto base = build_udg(ps.points, w, 1.0).graph.edge_list();
+  EXPECT_FALSE(base.empty());
+  for (const unsigned threads : {2u, 8u}) {
+    set_thread_count(threads);
+    EXPECT_EQ(build_udg(ps.points, w, 1.0).graph.edge_list(), base) << threads << " threads";
+  }
+}
+
+TEST(Knn, SelectionsBitIdenticalAcrossThreadCounts) {
+  const ThreadCountGuard guard;
+  const Box w{{0.0, 0.0}, {12.0, 12.0}};
+  const PointSet ps = poisson_point_set(w, 2.0, 1234);
+  set_thread_count(1);
+  const FlatAdjacency base = knn_selections_flat(ps.points, 7);
+  const auto base_edges = build_knn_graph(ps.points, 7).graph.edge_list();
+  for (const unsigned threads : {2u, 8u}) {
+    set_thread_count(threads);
+    const FlatAdjacency flat = knn_selections_flat(ps.points, 7);
+    EXPECT_EQ(flat.offsets, base.offsets) << threads << " threads";
+    EXPECT_EQ(flat.neighbors, base.neighbors) << threads << " threads";
+    EXPECT_EQ(build_knn_graph(ps.points, 7).graph.edge_list(), base_edges)
+        << threads << " threads";
+  }
 }
 
 TEST(GeoGraphMetrics, PathLengthAndPower) {

@@ -1,4 +1,6 @@
-// Tests for sens/spatial: grid index and kd-tree against brute-force oracles.
+// Tests for sens/spatial: grid index, kd-tree and grid k-NN against
+// brute-force oracles and against each other (the engines must agree
+// bit-for-bit, including (distance, index) tie-breaks).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -7,6 +9,7 @@
 #include "sens/geometry/vec2.hpp"
 #include "sens/rng/rng.hpp"
 #include "sens/spatial/grid_index.hpp"
+#include "sens/spatial/grid_knn.hpp"
 #include "sens/spatial/kdtree.hpp"
 
 namespace sens {
@@ -54,6 +57,52 @@ TEST(GridIndex, LargerRadiusThanCellStillExact) {
   auto want = brute_radius(pts, {5.0, 5.0}, 3.0);
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, want);
+}
+
+// The scan widens to ceil(radius / cell_size) rings, so any radius is
+// exhaustive — including one covering the whole grid from a corner.
+TEST(GridIndex, RadiusSweepsBeyondCellAreExhaustive) {
+  const auto pts = random_points(250, 77);
+  const GridIndex index(pts, Box{{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  Rng rng(770);
+  for (int t = 0; t < 40; ++t) {
+    const Vec2 q{rng.uniform(-2.0, 12.0), rng.uniform(-2.0, 12.0)};
+    const double r = rng.uniform(1.0, 6.0);  // always > cell_size
+    auto got = index.query_radius(q, r);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute_radius(pts, q, r));
+  }
+  auto all = index.query_radius({0.0, 0.0}, 20.0);
+  EXPECT_EQ(all.size(), pts.size());
+}
+
+TEST(GridIndex, QueryRadiusIntoReusesBuffer) {
+  const auto pts = random_points(200, 13);
+  const GridIndex index(pts, Box{{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  std::vector<std::uint32_t> out{99, 99, 99};  // stale contents must vanish
+  const std::size_t n1 = index.query_radius_into({5.0, 5.0}, 1.5, out);
+  EXPECT_EQ(n1, out.size());
+  std::vector<std::uint32_t> sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, brute_radius(pts, {5.0, 5.0}, 1.5));
+  // Second query with the same buffer: result identical to a fresh call.
+  index.query_radius_into({2.0, 8.0}, 0.7, out);
+  EXPECT_EQ(out, index.query_radius({2.0, 8.0}, 0.7));
+}
+
+TEST(GridIndex, ForEachUntilStopsEarly) {
+  const auto pts = random_points(300, 5);
+  const GridIndex index(pts, Box{{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  int visits = 0;
+  const bool hit = index.for_each_in_radius_until({5.0, 5.0}, 4.0, [&](std::uint32_t) {
+    ++visits;
+    return true;  // stop at the first point
+  });
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(visits, 1);
+  const bool none = index.for_each_in_radius_until({5.0, 5.0}, 4.0,
+                                                   [](std::uint32_t) { return false; });
+  EXPECT_FALSE(none);
 }
 
 TEST(GridIndex, PointsOutsideBoundsAreClamped) {
@@ -139,6 +188,114 @@ TEST(KdTree, EmptyAndZeroK) {
   const auto pts = random_points(5, 1);
   const KdTree t2(pts);
   EXPECT_TRUE(t2.nearest({0.0, 0.0}, 0).empty());
+}
+
+// --- scratch-buffer overloads --------------------------------------------
+
+// `nearest_into` must equal `nearest` with one scratch reused across
+// adversarial queries: duplicates, k >= n, exclusion, mixed k sizes (the
+// sorted-array and heap candidate strategies share one scratch).
+TEST(KdTree, NearestIntoMatchesNearestOnAdversarialInputs) {
+  std::vector<Vec2> pts{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}, {1.0, 1.0}};
+  const KdTree tree(pts);
+  KdTree::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  tree.nearest_into({1.0, 1.0}, 3, KdTree::npos, scratch, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 2}));
+  tree.nearest_into({1.0, 1.0}, 3, 1, scratch, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2, 4}));
+  // k >= n, with and without exclusion.
+  EXPECT_EQ(tree.nearest_into({0.0, 0.0}, 50, KdTree::npos, scratch, out), 5u);
+  EXPECT_EQ(out, tree.nearest({0.0, 0.0}, 50));
+  EXPECT_EQ(tree.nearest_into({0.0, 0.0}, 50, 3, scratch, out), 4u);
+  EXPECT_EQ(out, tree.nearest({0.0, 0.0}, 50, 3));
+  // Alternating k across the sorted-array / heap strategy threshold with
+  // the same scratch.
+  const auto big = random_points(400, 99);
+  const KdTree btree(big);
+  Rng rng(424);
+  for (int t = 0; t < 20; ++t) {
+    const Vec2 q{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+    for (const std::size_t k : {3ul, 60ul, 17ul, 200ul}) {
+      btree.nearest_into(q, k, KdTree::npos, scratch, out);
+      EXPECT_EQ(out, btree.nearest(q, k));
+    }
+  }
+}
+
+TEST(KdTree, QueryRadiusIntoMatchesQueryRadius) {
+  const auto pts = random_points(300, 21);
+  const KdTree tree(pts);
+  KdTree::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  Rng rng(212);
+  for (int t = 0; t < 20; ++t) {
+    const Vec2 q{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+    const double r = rng.uniform(0.2, 2.0);
+    tree.query_radius_into(q, r, scratch, out);
+    EXPECT_EQ(out, brute_radius(pts, q, r));
+  }
+}
+
+// --- GridKnn: the batched k-NN engine ------------------------------------
+
+class GridKnnParamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// GridKnn must agree with the kd-tree bit for bit — same neighbors, same
+// order, same (distance, index) tie-breaks — across the streaming (small k)
+// and selection (large k) paths.
+TEST_P(GridKnnParamTest, MatchesKdTreeOracle) {
+  const auto pts = random_points(350, GetParam() * 17 + 3);
+  const KdTree tree(pts);
+  for (const std::size_t k : {1ul, 8ul, 48ul, 49ul, 120ul, 400ul}) {
+    const GridKnn grid(pts, k);
+    GridKnn::QueryScratch scratch;
+    std::vector<std::uint32_t> got;
+    Rng rng(GetParam() + 5000);
+    for (int t = 0; t < 15; ++t) {
+      const Vec2 q{rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0)};
+      grid.nearest_into(q, k, GridKnn::npos, scratch, got);
+      EXPECT_EQ(got, tree.nearest(q, k)) << "k=" << k;
+    }
+    // Self-queries with exclusion — the batched builder's workload.
+    for (std::uint32_t i = 0; i < 25; ++i) {
+      grid.nearest_into(pts[i], k, i, scratch, got);
+      EXPECT_EQ(got, tree.nearest(pts[i], k, i)) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridKnnParamTest, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(GridKnn, DuplicatePointsAndDegenerateInputs) {
+  std::vector<Vec2> same(6, Vec2{3.0, 3.0});
+  const GridKnn grid(same, 4);
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  grid.nearest_into({3.0, 3.0}, 4, 2, scratch, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 3, 4}));
+  std::vector<Vec2> none;
+  const GridKnn empty(none, 4);
+  EXPECT_EQ(empty.nearest_into({0.0, 0.0}, 4, GridKnn::npos, scratch, out), 0u);
+  const GridKnn one(std::vector<Vec2>{{1.0, 2.0}}, 1);
+  EXPECT_EQ(one.nearest_into({0.0, 0.0}, 0, GridKnn::npos, scratch, out), 0u);
+  EXPECT_EQ(one.nearest_into({0.0, 0.0}, 3, GridKnn::npos, scratch, out), 1u);
+  EXPECT_EQ(out, std::vector<std::uint32_t>{0});
+}
+
+// Collinear points: a degenerate (zero-height) bounding box must not break
+// the ring bounds.
+TEST(GridKnn, CollinearPoints) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back({0.25 * i, 2.0});
+  const KdTree tree(pts);
+  const GridKnn grid(pts, 5);
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    grid.nearest_into(pts[i], 5, i, scratch, out);
+    EXPECT_EQ(out, tree.nearest(pts[i], 5, i));
+  }
 }
 
 }  // namespace

@@ -190,6 +190,26 @@ TEST(ParallelTest, ChunksPartitionTheIndexRange) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelTest, ChunkLayoutMatchesDispatchedChunks) {
+  // The public chunk_layout(n) describes exactly the chunks that
+  // parallel_for_chunks hands out: index_of(begin) hits every chunk index
+  // [0, count) exactly once (the contract per-chunk collectors rely on,
+  // DESIGN.md §2.3).
+  for (const std::size_t n : {1ul, 7ul, 1024ul, 1025ul, 5000ul}) {
+    const ChunkLayout layout = chunk_layout(n);
+    std::vector<std::atomic<int>> seen(layout.count);
+    std::atomic<std::size_t> calls{0};
+    parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+      ASSERT_EQ(end - begin, std::min(layout.size, n - begin));
+      seen[layout.index_of(begin)].fetch_add(1);
+      calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), layout.count) << "n=" << n;
+    for (const auto& s : seen) EXPECT_EQ(s.load(), 1) << "n=" << n;
+  }
+  EXPECT_EQ(chunk_layout(0).count, 0u);
+}
+
 TEST(ParallelTest, SumBitIdenticalAcrossThreadCounts) {
   // Floating-point addition is not associative, so bit-identical sums prove
   // the reduction really combines per-chunk partials in a thread-count-
