@@ -30,17 +30,22 @@ RoutingRow measure(const SiteGrid& grid, std::size_t pairs, std::uint64_t seed) 
     if (labels.in_largest(grid.site_at(i))) giant.push_back(grid.site_at(i));
   if (giant.size() < 2) return row;
   Rng rng = Rng::stream(seed, 0x40e7e);
+  // Scratch + distance buffer hoisted out of the pair loop: every route and
+  // chemical BFS below is allocation-free (DESIGN.md §2.4).
+  MeshRouteScratch route_scratch;
+  ChemicalScratch chem_scratch;
+  std::vector<std::uint32_t> dists(grid.num_sites());
   for (std::size_t t = 0; t < pairs; ++t) {
     const Site a = giant[rng.uniform_index(giant.size())];
     const Site b = giant[rng.uniform_index(giant.size())];
     if (lattice_distance(a, b) < 8) continue;
-    const MeshRoute route = router.route(a, b);
+    const MeshRoute route = router.route(a, b, route_scratch);
     if (!route.success) {
       ++row.failures;
       continue;
     }
     // Chemical shortest path as the baseline the theorem compares against.
-    const auto dists = chemical_distances(grid, a);
+    chemical_distances_into(grid, a, chem_scratch, dists);
     const double sp = dists[grid.index(b)];
     row.probes_per_sp.add(static_cast<double>(route.probes) / sp);
     row.hops_per_sp.add(static_cast<double>(route.hops()) / sp);

@@ -21,12 +21,19 @@ using namespace sens::bench;
 
 namespace {
 
-EdgeWeightFn length_weight(const GeoGraph& g) {
-  return [&g](std::uint32_t u, std::uint32_t v) { return g.edge_length(u, v); };
-}
-EdgeWeightFn power_weight(const GeoGraph& g, double beta) {
-  return [&g, beta](std::uint32_t u, std::uint32_t v) { return std::pow(g.edge_length(u, v), beta); };
-}
+/// Per-arc weight arrays for the three metrics every pair queries, built
+/// once per graph (CsrGraph::arc_weights, DESIGN.md §2.4): the Dijkstra
+/// inner loop reads flat arrays instead of invoking a callable per edge.
+struct MetricWeights {
+  std::vector<double> length;
+  std::vector<double> power2;
+  std::vector<double> power4;
+
+  explicit MetricWeights(const GeoGraph& g)
+      : length(g.length_arc_weights()),
+        power2(g.power_arc_weights(2.0)),
+        power4(g.power_arc_weights(4.0)) {}
+};
 
 }  // namespace
 
@@ -76,6 +83,11 @@ int main(int argc, char** argv) {
   Agg agg_udg, agg_gg, agg_rng, agg_yao, agg_sens;
   const SensRouter sens_router(r.overlay);
 
+  // Weight arrays built once per graph; one Dijkstra scratch serves every
+  // query below (allocation-free early-exit runs, DESIGN.md §2.4).
+  const MetricWeights w_udg(udg), w_gg(gg), w_rng(rng_g), w_yao(yao);
+  DijkstraScratch scratch;
+
   std::size_t used = 0;
   for (std::size_t t = 0; t < pairs * 4 && used < pairs; ++t) {
     const Site sa = reps[pick.uniform_index(reps.size())];
@@ -86,22 +98,22 @@ int main(int argc, char** argv) {
     const double straight = dist(r.points.points[a], r.points.points[b]);
     if (straight < 5.0) continue;
 
-    const double udg_len = dijkstra_cost(udg.graph, a, b, length_weight(udg));
-    const double udg_p2 = dijkstra_cost(udg.graph, a, b, power_weight(udg, 2.0));
-    const double udg_p4 = dijkstra_cost(udg.graph, a, b, power_weight(udg, 4.0));
+    const double udg_len = dijkstra_cost(udg.graph, a, b, w_udg.length, scratch);
+    const double udg_p2 = dijkstra_cost(udg.graph, a, b, w_udg.power2, scratch);
+    const double udg_p4 = dijkstra_cost(udg.graph, a, b, w_udg.power4, scratch);
     if (udg_len >= kInfCost) continue;
 
-    auto eval = [&](const GeoGraph& g, Agg& agg) {
-      const double len = dijkstra_cost(g.graph, a, b, length_weight(g));
+    auto eval = [&](const GeoGraph& g, const MetricWeights& w, Agg& agg) {
+      const double len = dijkstra_cost(g.graph, a, b, w.length, scratch);
       if (len >= kInfCost) return;
       agg.len_stretch.add(len / straight);
-      agg.pow2_stretch.add(dijkstra_cost(g.graph, a, b, power_weight(g, 2.0)) / udg_p2);
-      agg.pow4_stretch.add(dijkstra_cost(g.graph, a, b, power_weight(g, 4.0)) / udg_p4);
+      agg.pow2_stretch.add(dijkstra_cost(g.graph, a, b, w.power2, scratch) / udg_p2);
+      agg.pow4_stretch.add(dijkstra_cost(g.graph, a, b, w.power4, scratch) / udg_p4);
     };
-    eval(udg, agg_udg);
-    eval(gg, agg_gg);
-    eval(rng_g, agg_rng);
-    eval(yao, agg_yao);
+    eval(udg, w_udg, agg_udg);
+    eval(gg, w_gg, agg_gg);
+    eval(rng_g, w_rng, agg_rng);
+    eval(yao, w_yao, agg_yao);
 
     // SENS: the actual routed path (not an omniscient shortest path).
     const SensRoute route = sens_router.route(sa, sb);

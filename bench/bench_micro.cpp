@@ -3,10 +3,16 @@
 // tile classification, overlay construction and mesh routing.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <functional>
+#include <numeric>
+
 #include "sens/core/udg_sens.hpp"
 #include "sens/geograph/knn.hpp"
 #include "sens/geograph/point_set.hpp"
 #include "sens/geograph/udg.hpp"
+#include "sens/graph/bfs.hpp"
+#include "sens/graph/dijkstra.hpp"
 #include "sens/perc/clusters.hpp"
 #include "sens/perc/mesh_router.hpp"
 #include "sens/spatial/grid_index.hpp"
@@ -19,6 +25,25 @@
 namespace {
 
 using namespace sens;
+
+/// Shared traversal fixture: the UDG the shortest-path kernels run on
+/// (~4k vertices, mean degree ~12.6) plus a deterministic source batch.
+const GeoGraph& traversal_graph() {
+  static const GeoGraph g = [] {
+    const Box w{{0.0, 0.0}, {32.0, 32.0}};
+    return build_udg(poisson_point_set(w, 4.0, 21).points, w, 1.0);
+  }();
+  return g;
+}
+
+std::vector<std::uint32_t> traversal_sources(std::size_t count) {
+  const std::size_t n = traversal_graph().graph.num_vertices();
+  std::vector<std::uint32_t> sources(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sources[i] = static_cast<std::uint32_t>((i * 37 + 11) % n);
+  }
+  return sources;
+}
 
 void BM_PoissonPointSet(benchmark::State& state) {
   const double side = static_cast<double>(state.range(0));
@@ -225,6 +250,112 @@ void BM_NnGoodTrial(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NnGoodTrial);
+
+// The single-source Dijkstra kernel, seed shape (pre-PR-4): a type-erased
+// `std::function` invoked per relaxed edge and a freshly allocated
+// cost/queue per source. The ratio against BM_DijkstraCostsInto isolates
+// what the arc-weight array + versioned scratch + indexed heap buy.
+void BM_DijkstraCostsFn(benchmark::State& state) {
+  const GeoGraph& g = traversal_graph();
+  const std::function<double(std::uint32_t, std::uint32_t)> weight =
+      [&g](std::uint32_t u, std::uint32_t v) { return std::pow(g.edge_length(u, v), 2.0); };
+  std::uint32_t s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dijkstra_costs(g.graph, s % static_cast<std::uint32_t>(g.size()), weight).data());
+    ++s;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_DijkstraCostsFn);
+
+// Same kernel, batched shape: precomputed per-arc powers, caller-owned
+// scratch and output buffer (DESIGN.md §2.4).
+void BM_DijkstraCostsInto(benchmark::State& state) {
+  const GeoGraph& g = traversal_graph();
+  const std::vector<double> weights = g.power_arc_weights(2.0);
+  DijkstraScratch scratch;
+  std::vector<double> out(g.size());
+  std::uint32_t s = 0;
+  for (auto _ : state) {
+    dijkstra_costs_into(g.graph, s % static_cast<std::uint32_t>(g.size()), weights, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+    ++s;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_DijkstraCostsInto);
+
+// The multi-source stretch kernel, seed shape: what bench_e07/e12-style
+// sweeps paid per batch of sources before PR 4 — one `std::function`
+// Dijkstra per source in a serial loop.
+void BM_DijkstraManySerialFn(benchmark::State& state) {
+  const GeoGraph& g = traversal_graph();
+  const auto sources = traversal_sources(static_cast<std::size_t>(state.range(0)));
+  const std::function<double(std::uint32_t, std::uint32_t)> weight =
+      [&g](std::uint32_t u, std::uint32_t v) { return std::pow(g.edge_length(u, v), 2.0); };
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const std::uint32_t s : sources) {
+      const auto costs = dijkstra_costs(g.graph, s, weight);
+      sum += costs[0];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DijkstraManySerialFn)->Arg(64);
+
+// Same batch through `dijkstra_many`: per-arc weights, per-thread scratch,
+// chunk-parallel over sources (bit-identical to the serial loop at any
+// thread count).
+void BM_DijkstraMany(benchmark::State& state) {
+  const GeoGraph& g = traversal_graph();
+  const auto sources = traversal_sources(static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> weights = g.power_arc_weights(2.0);
+  std::vector<double> out(sources.size() * g.size());
+  for (auto _ : state) {
+    dijkstra_many_into(g.graph, sources, weights, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DijkstraMany)->Arg(64);
+
+// Multi-source BFS batch (the E7 hop-stretch kernel shape).
+void BM_BfsMany(benchmark::State& state) {
+  const GeoGraph& g = traversal_graph();
+  const auto sources = traversal_sources(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint32_t> out(sources.size() * g.size());
+  for (auto _ : state) {
+    bfs_many_into(g.graph, sources, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BfsMany)->Arg(64);
+
+// Seed shape of the BFS batch: one allocating `bfs_distances` per source.
+void BM_BfsManySerialAlloc(benchmark::State& state) {
+  const GeoGraph& g = traversal_graph();
+  const auto sources = traversal_sources(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const std::uint32_t s : sources) {
+      const auto dist = bfs_distances(g.graph, s);
+      sum += dist[0];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BfsManySerialAlloc)->Arg(64);
 
 void BM_MeshRoute(benchmark::State& state) {
   const SiteGrid grid = SiteGrid::random(128, 128, 0.75, 5);

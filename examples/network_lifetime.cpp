@@ -49,6 +49,11 @@ int main(int argc, char** argv) {
     const double d = udg.edge_length(u, v);
     return d * d;
   };
+  // Per-arc powers computed once; every per-round shortest path reuses one
+  // scratch + path buffer (allocation-free, DESIGN.md §2.4).
+  const std::vector<double> pw_arcs = udg.graph.arc_weights(pw);
+  DijkstraScratch scratch;
+  std::vector<std::uint32_t> path;
 
   int first_death_udg = -1, first_death_sens = -1;
   double total_udg = 0.0, total_sens = 0.0;
@@ -57,7 +62,7 @@ int main(int argc, char** argv) {
     const Site src = reps[rng.uniform_index(reps.size())];
     // (a) full UDG from the same source sensor.
     const std::uint32_t src_base = net.overlay.base_index[net.overlay.rep_of(src)];
-    const auto path = dijkstra_path(udg.graph, src_base, sink_base, pw);
+    dijkstra_path_into(udg.graph, src_base, sink_base, pw_arcs, scratch, path);
     for (std::size_t i = 1; i < path.size(); ++i) {
       const double e = pw(path[i - 1], path[i]);
       energy_udg[path[i - 1]] += e;

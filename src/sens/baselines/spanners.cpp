@@ -8,31 +8,59 @@
 #include <utility>
 #include <vector>
 
+#include "sens/graph/flat_adjacency.hpp"
 #include "sens/support/parallel.hpp"
 
 namespace sens {
 
 namespace {
 
-/// Shared skeleton: keep the UDG edges passing `keep(u, v)`. The per-vertex
-/// tests are independent (they only read `udg`), so the scan runs on the
-/// chunk-ordered collector (DESIGN.md §2.3) — bench_e12 filters three
-/// spanners over the same UDG, and the result is bit-identical at any
-/// thread count.
+/// Shared skeleton: keep the UDG edges passing `keep(u, v)`. The predicate
+/// is evaluated once per undirected edge in canonical orientation (u < v)
+/// into a per-arc kept mask, the mask is mirrored to the reverse arcs, and
+/// the surviving adjacency is written by the two-pass count-then-write
+/// builder — no edge-pair list, no global sort, no per-chunk buffers
+/// (DESIGN.md §2.3/§2.4). Every pass writes disjoint slots indexed by
+/// vertex/arc, so the result is bit-identical at any thread count.
 template <typename Keep>
 GeoGraph filter_edges(const GeoGraph& udg, Keep&& keep) {
   GeoGraph out;
   out.points = udg.points;
-  auto kept = collect_chunk_ordered<std::pair<std::uint32_t, std::uint32_t>>(
-      udg.graph.num_vertices(), [&](std::size_t begin, std::size_t end, auto& sink) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto u = static_cast<std::uint32_t>(i);
-          for (const std::uint32_t v : udg.graph.neighbors(u)) {
-            if (u < v && keep(u, v)) sink.emplace_back(u, v);
-          }
+  const CsrGraph& g = udg.graph;
+  const std::size_t n = g.num_vertices();
+
+  std::vector<std::uint8_t> kept(g.num_arcs());
+  parallel_for(n, [&](std::size_t i) {
+    const auto u = static_cast<std::uint32_t>(i);
+    for (std::uint32_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      const std::uint32_t v = g.arc_target(a);
+      if (u < v) kept[a] = keep(u, v) ? 1 : 0;
+    }
+  });
+  parallel_for(n, [&](std::size_t i) {
+    const auto u = static_cast<std::uint32_t>(i);
+    for (std::uint32_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      const std::uint32_t v = g.arc_target(a);
+      if (u > v) kept[a] = kept[g.arc_index(v, u)];
+    }
+  });
+
+  FlatAdjacency adj = build_flat_adjacency(
+      n,
+      [&](std::size_t i) {
+        const auto u = static_cast<std::uint32_t>(i);
+        std::size_t count = 0;
+        for (std::uint32_t a = g.arc_begin(u); a < g.arc_end(u); ++a) count += kept[a];
+        return count;
+      },
+      [&](std::size_t i, std::uint32_t* slot) {
+        const auto u = static_cast<std::uint32_t>(i);
+        for (std::uint32_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+          if (kept[a]) *slot++ = g.arc_target(a);
         }
       });
-  out.graph = CsrGraph::from_edges(udg.points.size(), std::move(kept));
+  // Each surviving list is a subsequence of the (sorted) UDG adjacency.
+  out.graph = CsrGraph::from_symmetric_adjacency(std::move(adj), /*lists_sorted=*/true);
   return out;
 }
 
@@ -71,35 +99,50 @@ GeoGraph yao_graph(const GeoGraph& udg, std::size_t cones) {
   if (cones < 1) throw std::invalid_argument("yao_graph: cones < 1");
   GeoGraph out;
   out.points = udg.points;
-  auto kept = collect_chunk_ordered<std::pair<std::uint32_t, std::uint32_t>>(
-      udg.graph.num_vertices(), [&](std::size_t begin, std::size_t end, auto& sink) {
-        // Per-cone winner buffers hoisted to chunk scope: allocated once
-        // per chunk, not once per vertex.
-        std::vector<std::uint32_t> best(cones);
-        std::vector<double> best_d2(cones);
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto u = static_cast<std::uint32_t>(i);
-          std::fill(best.begin(), best.end(), 0xffffffffu);
-          std::fill(best_d2.begin(), best_d2.end(), std::numeric_limits<double>::infinity());
-          for (const std::uint32_t v : udg.graph.neighbors(u)) {
-            const Vec2 delta = udg.points[v] - udg.points[u];
-            double angle = std::atan2(delta.y, delta.x);
-            if (angle < 0.0) angle += 2.0 * std::numbers::pi;
-            auto cone = static_cast<std::size_t>(angle / (2.0 * std::numbers::pi) *
-                                                 static_cast<double>(cones));
-            if (cone >= cones) cone = cones - 1;
-            const double d2 = delta.norm2();
-            // Tie-break by index for determinism.
-            if (d2 < best_d2[cone] || (d2 == best_d2[cone] && v < best[cone])) {
-              best_d2[cone] = d2;
-              best[cone] = v;
-            }
-          }
-          for (const std::uint32_t v : best)
-            if (v != 0xffffffffu) sink.emplace_back(u, v);
+  const std::size_t n = udg.graph.num_vertices();
+  constexpr std::uint32_t kNone = 0xffffffffu;
+
+  // Per-vertex cone winners into a padded n x cones table (one atan2 pass;
+  // each row is written by exactly one task), then compacted into directed
+  // selection lists and symmetrized — no edge-pair list.
+  std::vector<std::uint32_t> winner(n * cones, kNone);
+  parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+    // Winner-distance buffer hoisted to chunk scope: allocated once per
+    // chunk, not once per vertex.
+    std::vector<double> best_d2(cones);
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto u = static_cast<std::uint32_t>(i);
+      std::uint32_t* best = winner.data() + i * cones;
+      std::fill(best_d2.begin(), best_d2.end(), std::numeric_limits<double>::infinity());
+      for (const std::uint32_t v : udg.graph.neighbors(u)) {
+        const Vec2 delta = udg.points[v] - udg.points[u];
+        double angle = std::atan2(delta.y, delta.x);
+        if (angle < 0.0) angle += 2.0 * std::numbers::pi;
+        auto cone = static_cast<std::size_t>(angle / (2.0 * std::numbers::pi) *
+                                             static_cast<double>(cones));
+        if (cone >= cones) cone = cones - 1;
+        const double d2 = delta.norm2();
+        // Tie-break by index for determinism.
+        if (d2 < best_d2[cone] || (d2 == best_d2[cone] && v < best[cone])) {
+          best_d2[cone] = d2;
+          best[cone] = v;
+        }
+      }
+    }
+  });
+  FlatAdjacency sel = build_flat_adjacency(
+      n,
+      [&](std::size_t i) {
+        std::size_t count = 0;
+        for (std::size_t c = 0; c < cones; ++c) count += winner[i * cones + c] != kNone;
+        return count;
+      },
+      [&](std::size_t i, std::uint32_t* slot) {
+        for (std::size_t c = 0; c < cones; ++c) {
+          if (winner[i * cones + c] != kNone) *slot++ = winner[i * cones + c];
         }
       });
-  out.graph = CsrGraph::from_edges(udg.points.size(), std::move(kept));
+  out.graph = CsrGraph::from_selections(std::move(sel));
   return out;
 }
 

@@ -28,13 +28,16 @@ std::vector<StretchSample> sample_overlay_stretch(const Overlay& overlay, std::s
   if (reps.size() < 2) return samples;
   Rng rng = Rng::stream(seed, 0x57e7c4);
   samples.reserve(pairs);
+  // One BFS scratch + path buffer reused across every pair (DESIGN.md §2.4).
+  BfsScratch scratch;
+  std::vector<std::uint32_t> path;
   for (std::size_t i = 0; i < pairs; ++i) {
     const Site sa = reps[rng.uniform_index(reps.size())];
     const Site sb = reps[rng.uniform_index(reps.size())];
     if (sa == sb) continue;
     const std::uint32_t u = overlay.rep_of(sa);
     const std::uint32_t v = overlay.rep_of(sb);
-    const auto path = bfs_path(overlay.geo.graph, u, v);
+    bfs_path_into(overlay.geo.graph, u, v, scratch, path);
     if (path.empty()) continue;  // cannot happen within the largest component
     StretchSample s;
     s.euclid = dist(overlay.geo.points[u], overlay.geo.points[v]);

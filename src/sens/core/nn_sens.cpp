@@ -56,12 +56,12 @@ Overlay build_nn_overlay(const NnClassification& cls, std::span<const Vec2> poin
   };
 
   KnnEdgeOracle oracle(tree, cls.k);
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  CsrGraph::Builder edges;
   auto try_edge = [&](std::uint32_t a, std::uint32_t b) {
     if (a == b) return;
     ++ov.edges_expected;
     if (oracle.has_edge(ov.base_index[a], ov.base_index[b])) {
-      edges.emplace_back(a, b);
+      edges.add_edge(a, b);
     } else {
       ++ov.edges_missing;
     }
@@ -106,7 +106,7 @@ Overlay build_nn_overlay(const NnClassification& cls, std::span<const Vec2> poin
 
   ov.geo.points.reserve(ov.base_index.size());
   for (const std::uint32_t p : ov.base_index) ov.geo.points.push_back(points[p]);
-  ov.geo.graph = CsrGraph::from_edges(ov.base_index.size(), std::move(edges));
+  ov.geo.graph = std::move(edges).build(ov.base_index.size());
   ov.comps = connected_components(ov.geo.graph);
   return ov;
 }

@@ -19,7 +19,7 @@ int step_dir(Site a, Site b) {
 
 SensRoute SensRouter::route(Site src, Site dst) const {
   SensRoute out;
-  const MeshRoute mesh_route = mesh_.route(src, dst);
+  const MeshRoute mesh_route = mesh_.route(src, dst, mesh_scratch_);
   out.probes = mesh_route.probes;
   if (!mesh_route.success) return out;
   out.tile_hops = mesh_route.hops();

@@ -34,11 +34,15 @@ class SensRouter {
   /// Route between the representatives of two good tiles. The tile route
   /// comes from the percolated-mesh router; every mesh edge (t -> t') is
   /// realized as rep(t) -> exit relays of t -> entry relays of t' -> rep(t').
+  /// Reuses a router-owned mesh scratch across calls (allocation-free
+  /// detour BFS, DESIGN.md §2.4) — a SensRouter must therefore not be
+  /// shared between threads.
   [[nodiscard]] SensRoute route(Site src, Site dst) const;
 
  private:
   const Overlay* overlay_;
   MeshRouter mesh_;
+  mutable MeshRouteScratch mesh_scratch_;
 };
 
 }  // namespace sens

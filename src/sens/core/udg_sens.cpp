@@ -23,12 +23,12 @@ Overlay build_udg_overlay(const UdgClassification& cls, std::span<const Vec2> po
     return it->second;
   };
 
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  CsrGraph::Builder edges;
   const double link2 = cls.spec.link_radius * cls.spec.link_radius;
   auto try_edge = [&](std::uint32_t a, std::uint32_t b) {
     ++ov.edges_expected;
     if (dist2(points[ov.base_index[a]], points[ov.base_index[b]]) <= link2) {
-      edges.emplace_back(a, b);
+      edges.add_edge(a, b);
     } else {
       ++ov.edges_missing;
     }
@@ -71,7 +71,7 @@ Overlay build_udg_overlay(const UdgClassification& cls, std::span<const Vec2> po
 
   ov.geo.points.reserve(ov.base_index.size());
   for (const std::uint32_t p : ov.base_index) ov.geo.points.push_back(points[p]);
-  ov.geo.graph = CsrGraph::from_edges(ov.base_index.size(), std::move(edges));
+  ov.geo.graph = std::move(edges).build(ov.base_index.size());
   ov.comps = connected_components(ov.geo.graph);
   return ov;
 }

@@ -1,43 +1,5 @@
-// Flat CSR-style adjacency: one offsets array + one neighbors array.
-//
-// Replaces the nested `vector<vector<uint32_t>>` shape for batched query
-// results (k-NN selections, radius collections): two allocations total
-// instead of one per vertex, contiguous storage for cache-friendly sweeps,
-// and chunk-parallel builders can write disjoint slices without
-// synchronization (DESIGN.md §2.3).
+// Moved to sens/graph/flat_adjacency.hpp (the type is pure topology, no
+// geometry); this forwarding header keeps old include paths working.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <span>
-#include <vector>
-
-namespace sens {
-
-struct FlatAdjacency {
-  std::vector<std::uint32_t> offsets;    ///< size() + 1 entries, offsets[0] == 0
-  std::vector<std::uint32_t> neighbors;  ///< offsets.back() entries
-
-  [[nodiscard]] std::size_t size() const { return offsets.empty() ? 0 : offsets.size() - 1; }
-
-  [[nodiscard]] std::size_t degree(std::size_t i) const {
-    return offsets[i + 1] - offsets[i];
-  }
-
-  /// The neighbor list of vertex i as a contiguous span.
-  [[nodiscard]] std::span<const std::uint32_t> operator[](std::size_t i) const {
-    return {neighbors.data() + offsets[i], neighbors.data() + offsets[i + 1]};
-  }
-
-  /// Expand to the legacy nested-vector shape (tests, compatibility).
-  [[nodiscard]] std::vector<std::vector<std::uint32_t>> to_nested() const {
-    std::vector<std::vector<std::uint32_t>> out(size());
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      const auto nbrs = (*this)[i];
-      out[i].assign(nbrs.begin(), nbrs.end());
-    }
-    return out;
-  }
-};
-
-}  // namespace sens
+#include "sens/graph/flat_adjacency.hpp"  // IWYU pragma: export

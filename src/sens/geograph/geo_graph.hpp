@@ -37,6 +37,21 @@ struct GeoGraph {
       total += std::pow(edge_length(path[i - 1], path[i]), beta);
     return total;
   }
+
+  /// Per-arc Euclidean lengths aligned with the CSR adjacency — the flat
+  /// weight array Dijkstra's inner loop reads (DESIGN.md §2.4). Rebuild
+  /// after any change to `graph` or `points`.
+  [[nodiscard]] std::vector<double> length_arc_weights() const {
+    return graph.arc_weights(
+        [this](std::uint32_t u, std::uint32_t v) { return edge_length(u, v); });
+  }
+
+  /// Per-arc radio powers d(u,v)^beta aligned with the CSR adjacency.
+  [[nodiscard]] std::vector<double> power_arc_weights(double beta) const {
+    return graph.arc_weights([this, beta](std::uint32_t u, std::uint32_t v) {
+      return std::pow(edge_length(u, v), beta);
+    });
+  }
 };
 
 }  // namespace sens

@@ -54,12 +54,9 @@ std::vector<std::vector<std::uint32_t>> knn_selections(std::span<const Vec2> poi
 GeoGraph build_knn_graph(std::span<const Vec2> points, std::size_t k) {
   GeoGraph gg;
   gg.points.assign(points.begin(), points.end());
-  const FlatAdjacency selections = knn_selections_flat(points, k);
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
-  edges.reserve(selections.neighbors.size());
-  for (std::uint32_t i = 0; i < selections.size(); ++i)
-    for (const std::uint32_t j : selections[i]) edges.emplace_back(i, j);
-  gg.graph = CsrGraph::from_edges(points.size(), std::move(edges));
+  // NN(2, k) is the undirected union of the directed selections; the CSR
+  // is symmetrized straight from the flat lists (no edge-pair list).
+  gg.graph = CsrGraph::from_selections(knn_selections_flat(points, k));
   return gg;
 }
 

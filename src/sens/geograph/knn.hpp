@@ -5,8 +5,8 @@
 
 #include <span>
 
-#include "sens/geograph/flat_adjacency.hpp"
 #include "sens/geograph/geo_graph.hpp"
+#include "sens/graph/flat_adjacency.hpp"
 
 namespace sens {
 

@@ -2,8 +2,8 @@
 
 #include <stdexcept>
 
+#include "sens/graph/flat_adjacency.hpp"
 #include "sens/spatial/grid_index.hpp"
-#include "sens/support/parallel.hpp"
 
 namespace sens {
 
@@ -12,20 +12,27 @@ GeoGraph build_udg(std::span<const Vec2> points, Box bounds, double radius) {
   GeoGraph gg;
   gg.points.assign(points.begin(), points.end());
 
+  // Two-pass count-then-write straight into CSR shape (DESIGN.md §2.3/§2.4):
+  // pass 1 counts each vertex's in-radius neighbors, pass 2 writes the
+  // disjoint adjacency slices — no intermediate edge-pair list, no global
+  // sort, and the result is bit-identical at any thread count. The
+  // adjacency is symmetric by construction because dist2 is exact-symmetric
+  // in its arguments.
   const GridIndex index(points, bounds, radius);
-  // Chunk-parallel edge discovery via the chunk-ordered collector
-  // (DESIGN.md §2.3): the edge list is bit-identical at any thread count.
-  auto edges = collect_chunk_ordered<std::pair<std::uint32_t, std::uint32_t>>(
-      points.size(), [&](std::size_t begin, std::size_t end, auto& sink) {
-        sink.reserve(sink.size() + (end - begin) * 4);
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto u = static_cast<std::uint32_t>(i);
-          index.for_each_in_radius(points[i], radius, [&](std::uint32_t j) {
-            if (j > u) sink.emplace_back(u, j);
-          });
-        }
+  FlatAdjacency adj = build_flat_adjacency(
+      points.size(),
+      [&](std::size_t i) {
+        std::size_t count = 0;
+        index.for_each_in_radius(points[i], radius,
+                                 [&](std::uint32_t j) { count += j != i; });
+        return count;
+      },
+      [&](std::size_t i, std::uint32_t* out) {
+        index.for_each_in_radius(points[i], radius, [&](std::uint32_t j) {
+          if (j != i) *out++ = j;
+        });
       });
-  gg.graph = CsrGraph::from_edges(points.size(), std::move(edges));
+  gg.graph = CsrGraph::from_symmetric_adjacency(std::move(adj));
   return gg;
 }
 

@@ -1,76 +1,105 @@
 #include "sens/graph/bfs.hpp"
 
-#include <algorithm>
-#include <deque>
+#include "sens/support/parallel.hpp"
 
 namespace sens {
 
-std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, std::uint32_t source) {
-  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
-  std::deque<std::uint32_t> queue;
-  dist[source] = 0;
-  queue.push_back(source);
-  while (!queue.empty()) {
-    const std::uint32_t u = queue.front();
-    queue.pop_front();
-    for (std::uint32_t v : g.neighbors(u)) {
-      if (dist[v] == kUnreachable) {
-        dist[v] = dist[u] + 1;
-        queue.push_back(v);
-      }
+namespace {
+
+constexpr std::uint32_t kNoTarget = 0xffffffffu;
+
+/// Shared engine: label vertices outward from `source`; stops at the
+/// discovery of `target` (its distance/parent are final at discovery).
+/// Returns true when the target was reached.
+bool bfs_run(const CsrGraph& g, std::uint32_t source, BfsScratch& s,
+             std::uint32_t target = kNoTarget) {
+  s.prepare(g.num_vertices());
+  s.dist[source] = 0;
+  s.parent[source] = source;
+  s.stamp[source] = s.epoch;
+  if (source == target) return true;
+  s.queue.push_back(source);
+  std::size_t head = 0;
+  while (head < s.queue.size()) {
+    const std::uint32_t u = s.queue[head++];
+    const std::uint32_t du = s.dist[u];
+    for (const std::uint32_t v : g.neighbors(u)) {
+      if (s.reached(v)) continue;
+      s.dist[v] = du + 1;
+      s.parent[v] = u;
+      s.stamp[v] = s.epoch;
+      if (v == target) return true;
+      s.queue.push_back(v);
     }
   }
-  return dist;
+  return false;
+}
+
+}  // namespace
+
+void bfs_distances_into(const CsrGraph& g, std::uint32_t source, BfsScratch& scratch,
+                        std::span<std::uint32_t> out) {
+  bfs_run(g, source, scratch);
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = scratch.stamp[v] == scratch.epoch ? scratch.dist[v] : kUnreachable;
+  }
+}
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, std::uint32_t source) {
+  BfsScratch scratch;
+  std::vector<std::uint32_t> out(g.num_vertices());
+  bfs_distances_into(g, source, scratch, out);
+  return out;
+}
+
+std::uint32_t bfs_distance(const CsrGraph& g, std::uint32_t source, std::uint32_t target,
+                           BfsScratch& scratch) {
+  return bfs_run(g, source, scratch, target) ? scratch.dist[target] : kUnreachable;
 }
 
 std::uint32_t bfs_distance(const CsrGraph& g, std::uint32_t source, std::uint32_t target) {
-  if (source == target) return 0;
-  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
-  std::deque<std::uint32_t> queue;
-  dist[source] = 0;
-  queue.push_back(source);
-  while (!queue.empty()) {
-    const std::uint32_t u = queue.front();
-    queue.pop_front();
-    for (std::uint32_t v : g.neighbors(u)) {
-      if (dist[v] == kUnreachable) {
-        dist[v] = dist[u] + 1;
-        if (v == target) return dist[v];
-        queue.push_back(v);
-      }
-    }
-  }
-  return kUnreachable;
+  BfsScratch scratch;
+  return bfs_distance(g, source, target, scratch);
 }
 
-std::vector<std::uint32_t> bfs_path(const CsrGraph& g, std::uint32_t source, std::uint32_t target) {
-  std::vector<std::uint32_t> parent(g.num_vertices(), kUnreachable);
-  std::deque<std::uint32_t> queue;
-  parent[source] = source;
-  queue.push_back(source);
-  bool found = source == target;
-  while (!queue.empty() && !found) {
-    const std::uint32_t u = queue.front();
-    queue.pop_front();
-    for (std::uint32_t v : g.neighbors(u)) {
-      if (parent[v] == kUnreachable) {
-        parent[v] = u;
-        if (v == target) {
-          found = true;
-          break;
-        }
-        queue.push_back(v);
-      }
-    }
-  }
-  std::vector<std::uint32_t> path;
-  if (!found) return path;
-  for (std::uint32_t v = target;; v = parent[v]) {
+bool bfs_path_into(const CsrGraph& g, std::uint32_t source, std::uint32_t target,
+                   BfsScratch& scratch, std::vector<std::uint32_t>& path) {
+  path.clear();
+  if (!bfs_run(g, source, scratch, target)) return false;
+  for (std::uint32_t v = target;; v = scratch.parent[v]) {
     path.push_back(v);
     if (v == source) break;
   }
   std::reverse(path.begin(), path.end());
+  return true;
+}
+
+std::vector<std::uint32_t> bfs_path(const CsrGraph& g, std::uint32_t source,
+                                    std::uint32_t target) {
+  BfsScratch scratch;
+  std::vector<std::uint32_t> path;
+  bfs_path_into(g, source, target, scratch, path);
   return path;
+}
+
+void bfs_many_into(const CsrGraph& g, std::span<const std::uint32_t> sources,
+                   std::span<std::uint32_t> out) {
+  const std::size_t n = g.num_vertices();
+  parallel_for_chunks(sources.size(), [&](std::size_t begin, std::size_t end) {
+    // Per-thread scratch for the same reason as dijkstra_many_into: chunks
+    // often hold one source, and rows depend only on (graph, source), so
+    // reuse keeps the output bit-identical at any thread count (§2.4).
+    thread_local BfsScratch scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      bfs_distances_into(g, sources[i], scratch, out.subspan(i * n, n));
+    }
+  });
+}
+
+std::vector<std::uint32_t> bfs_many(const CsrGraph& g, std::span<const std::uint32_t> sources) {
+  std::vector<std::uint32_t> out(sources.size() * g.num_vertices());
+  bfs_many_into(g, sources, out);
+  return out;
 }
 
 }  // namespace sens

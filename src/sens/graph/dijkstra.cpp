@@ -1,96 +1,108 @@
 #include "sens/graph/dijkstra.hpp"
 
 #include <algorithm>
-#include <queue>
+
+#include "sens/support/parallel.hpp"
 
 namespace sens {
 
+namespace detail {
+
 namespace {
 
-struct QueueEntry {
-  double cost;
-  std::uint32_t vertex;
-  bool operator>(const QueueEntry& o) const { return cost > o.cost; }
+/// Arc-array weight: the relaxation loop reads w[arc] — no callable
+/// invocation, no endpoint arithmetic.
+struct SpanWeight {
+  const double* w;
+  double operator()(std::size_t arc, std::uint32_t, std::uint32_t) const { return w[arc]; }
 };
-
-using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
 
 }  // namespace
 
-std::vector<double> dijkstra_costs(const CsrGraph& g, std::uint32_t source,
-                                   const EdgeWeightFn& weight) {
-  std::vector<double> cost(g.num_vertices(), kInfCost);
-  MinQueue queue;
-  cost[source] = 0.0;
-  queue.push({0.0, source});
-  while (!queue.empty()) {
-    const auto [c, u] = queue.top();
-    queue.pop();
-    if (c > cost[u]) continue;
-    for (std::uint32_t v : g.neighbors(u)) {
-      const double nc = c + weight(u, v);
-      if (nc < cost[v]) {
-        cost[v] = nc;
-        queue.push({nc, v});
-      }
-    }
+void export_costs(const DijkstraScratch& s, std::span<double> out) {
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = s.stamp[v] == s.epoch ? s.dist[v] : kInfCost;
   }
-  return cost;
 }
 
-double dijkstra_cost(const CsrGraph& g, std::uint32_t source, std::uint32_t target,
-                     const EdgeWeightFn& weight) {
-  if (source == target) return 0.0;
-  std::vector<double> cost(g.num_vertices(), kInfCost);
-  MinQueue queue;
-  cost[source] = 0.0;
-  queue.push({0.0, source});
-  while (!queue.empty()) {
-    const auto [c, u] = queue.top();
-    queue.pop();
-    if (u == target) return c;
-    if (c > cost[u]) continue;
-    for (std::uint32_t v : g.neighbors(u)) {
-      const double nc = c + weight(u, v);
-      if (nc < cost[v]) {
-        cost[v] = nc;
-        queue.push({nc, v});
-      }
-    }
-  }
-  return kInfCost;
-}
-
-std::vector<std::uint32_t> dijkstra_path(const CsrGraph& g, std::uint32_t source,
-                                         std::uint32_t target, const EdgeWeightFn& weight) {
-  std::vector<double> cost(g.num_vertices(), kInfCost);
-  std::vector<std::uint32_t> parent(g.num_vertices(), 0xffffffffu);
-  MinQueue queue;
-  cost[source] = 0.0;
-  parent[source] = source;
-  queue.push({0.0, source});
-  while (!queue.empty()) {
-    const auto [c, u] = queue.top();
-    queue.pop();
-    if (u == target) break;
-    if (c > cost[u]) continue;
-    for (std::uint32_t v : g.neighbors(u)) {
-      const double nc = c + weight(u, v);
-      if (nc < cost[v]) {
-        cost[v] = nc;
-        parent[v] = u;
-        queue.push({nc, v});
-      }
-    }
-  }
-  std::vector<std::uint32_t> path;
-  if (parent[target] == 0xffffffffu) return path;
-  for (std::uint32_t v = target;; v = parent[v]) {
+void export_path(const DijkstraScratch& s, std::uint32_t source, std::uint32_t target,
+                 std::vector<std::uint32_t>& path) {
+  path.clear();
+  if (!s.reached(target)) return;
+  for (std::uint32_t v = target;; v = s.parent[v]) {
     path.push_back(v);
     if (v == source) break;
   }
   std::reverse(path.begin(), path.end());
+}
+
+}  // namespace detail
+
+void dijkstra_costs_into(const CsrGraph& g, std::uint32_t source,
+                         std::span<const double> arc_weights, DijkstraScratch& scratch,
+                         std::span<double> out) {
+  detail::dijkstra_run(g, source, detail::SpanWeight{arc_weights.data()}, scratch);
+  detail::export_costs(scratch, out);
+}
+
+std::vector<double> dijkstra_costs(const CsrGraph& g, std::uint32_t source,
+                                   std::span<const double> arc_weights) {
+  DijkstraScratch scratch;
+  std::vector<double> out(g.num_vertices());
+  dijkstra_costs_into(g, source, arc_weights, scratch, out);
+  return out;
+}
+
+double dijkstra_cost(const CsrGraph& g, std::uint32_t source, std::uint32_t target,
+                     std::span<const double> arc_weights, DijkstraScratch& scratch) {
+  detail::dijkstra_run(g, source, detail::SpanWeight{arc_weights.data()}, scratch, target);
+  return scratch.reached(target) ? scratch.dist[target] : kInfCost;
+}
+
+double dijkstra_cost(const CsrGraph& g, std::uint32_t source, std::uint32_t target,
+                     std::span<const double> arc_weights) {
+  DijkstraScratch scratch;
+  return dijkstra_cost(g, source, target, arc_weights, scratch);
+}
+
+bool dijkstra_path_into(const CsrGraph& g, std::uint32_t source, std::uint32_t target,
+                        std::span<const double> arc_weights, DijkstraScratch& scratch,
+                        std::vector<std::uint32_t>& path) {
+  detail::dijkstra_run(g, source, detail::SpanWeight{arc_weights.data()}, scratch, target);
+  detail::export_path(scratch, source, target, path);
+  return !path.empty();
+}
+
+std::vector<std::uint32_t> dijkstra_path(const CsrGraph& g, std::uint32_t source,
+                                         std::uint32_t target,
+                                         std::span<const double> arc_weights) {
+  DijkstraScratch scratch;
+  std::vector<std::uint32_t> path;
+  dijkstra_path_into(g, source, target, arc_weights, scratch, path);
   return path;
+}
+
+void dijkstra_many_into(const CsrGraph& g, std::span<const std::uint32_t> sources,
+                        std::span<const double> arc_weights, std::span<double> out) {
+  const std::size_t n = g.num_vertices();
+  parallel_for_chunks(sources.size(), [&](std::size_t begin, std::size_t end) {
+    // One scratch per worker thread, not per chunk: source counts are small
+    // enough that chunks hold a single source, and a per-chunk scratch
+    // would reintroduce the per-source O(n) allocation this API removes.
+    // Rows depend only on (graph, weights, source), so scratch reuse keeps
+    // the output bit-identical at any thread count (DESIGN.md §2.4).
+    thread_local DijkstraScratch scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      dijkstra_costs_into(g, sources[i], arc_weights, scratch, out.subspan(i * n, n));
+    }
+  });
+}
+
+std::vector<double> dijkstra_many(const CsrGraph& g, std::span<const std::uint32_t> sources,
+                                  std::span<const double> arc_weights) {
+  std::vector<double> out(sources.size() * g.num_vertices());
+  dijkstra_many_into(g, sources, arc_weights, out);
+  return out;
 }
 
 }  // namespace sens

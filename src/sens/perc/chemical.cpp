@@ -1,30 +1,45 @@
 #include "sens/perc/chemical.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <limits>
 
 #include "sens/rng/rng.hpp"
 
 namespace sens {
 
-std::vector<std::uint32_t> chemical_distances(const SiteGrid& grid, Site source) {
-  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
-  std::vector<std::uint32_t> dist(grid.num_sites(), kUnset);
-  if (!grid.open(source)) return dist;
-  std::deque<Site> queue;
-  dist[grid.index(source)] = 0;
-  queue.push_back(source);
-  while (!queue.empty()) {
-    const Site u = queue.front();
-    queue.pop_front();
-    const std::uint32_t du = dist[grid.index(u)];
+namespace {
+constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+void chemical_distances_into(const SiteGrid& grid, Site source, ChemicalScratch& scratch,
+                             std::span<std::uint32_t> out) {
+  // `out` doubles as the distance array: the sentinel fill is required for
+  // the dense result anyway, so the only per-call state to reuse is the
+  // frontier (kept warm in the scratch).
+  std::fill(out.begin(), out.end(), kUnset);
+  if (!grid.open(source)) return;
+  scratch.queue.clear();
+  out[grid.index(source)] = 0;
+  scratch.queue.push_back(static_cast<std::uint32_t>(grid.index(source)));
+  std::size_t head = 0;
+  while (head < scratch.queue.size()) {
+    const std::uint32_t ui = scratch.queue[head++];
+    const Site u = grid.site_at(ui);
+    const std::uint32_t du = out[ui];
     grid.for_each_neighbor(u, [&](Site v) {
-      if (grid.open(v) && dist[grid.index(v)] == kUnset) {
-        dist[grid.index(v)] = du + 1;
-        queue.push_back(v);
+      const std::size_t vi = grid.index(v);
+      if (grid.open(v) && out[vi] == kUnset) {
+        out[vi] = du + 1;
+        scratch.queue.push_back(static_cast<std::uint32_t>(vi));
       }
     });
   }
+}
+
+std::vector<std::uint32_t> chemical_distances(const SiteGrid& grid, Site source) {
+  ChemicalScratch scratch;
+  std::vector<std::uint32_t> dist(grid.num_sites());
+  chemical_distances_into(grid, source, scratch, dist);
   return dist;
 }
 
@@ -44,7 +59,9 @@ std::vector<ChemicalSample> sample_chemical_distances(const SiteGrid& grid,
   if (members.size() < 2) return samples;
 
   Rng rng = Rng::stream(seed, 0xD157);
-  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  // One BFS scratch + distance buffer reused across every attempt.
+  ChemicalScratch scratch;
+  std::vector<std::uint32_t> dists(grid.num_sites());
   std::size_t attempts = 0;
   while (samples.size() < num_pairs && attempts < num_pairs * 40) {
     ++attempts;
@@ -69,7 +86,7 @@ std::vector<ChemicalSample> sample_chemical_distances(const SiteGrid& grid,
       }
     }
     if (!found || (b.x == a.x && b.y == a.y)) continue;
-    const auto dists = chemical_distances(grid, a);
+    chemical_distances_into(grid, a, scratch, dists);
     const std::uint32_t dp = dists[grid.index(b)];
     if (dp == kUnset) continue;  // different cluster (cannot happen for largest)
     samples.push_back({lattice_distance(a, b), dp});

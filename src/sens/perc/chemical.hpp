@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sens/perc/clusters.hpp"
@@ -12,8 +13,21 @@
 
 namespace sens {
 
-/// BFS hop distances over open sites from `source` (must be open);
-/// closed/unreachable sites get 0xffffffff.
+/// Caller-owned frontier buffer for chemical-distance BFS runs: one
+/// allocation warm across sources instead of a deque per call (the
+/// traversal contract, DESIGN.md §2.4). Contents are opaque; never share
+/// one scratch between threads.
+struct ChemicalScratch {
+  std::vector<std::uint32_t> queue;  ///< site indices, reused across runs
+};
+
+/// BFS hop distances over open sites from `source` (must be open) written
+/// into `out` (size num_sites); closed/unreachable sites get 0xffffffff.
+/// Allocation-free given a warm scratch and out buffer.
+void chemical_distances_into(const SiteGrid& grid, Site source, ChemicalScratch& scratch,
+                             std::span<std::uint32_t> out);
+
+/// Allocating wrapper over `chemical_distances_into`.
 [[nodiscard]] std::vector<std::uint32_t> chemical_distances(const SiteGrid& grid, Site source);
 
 struct ChemicalSample {

@@ -1,9 +1,7 @@
 #include "sens/perc/mesh_router.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
-#include <unordered_map>
 
 namespace sens {
 
@@ -33,13 +31,19 @@ bool MeshRouter::on_remaining_path(Site s, Site from, Site dst) {
   return xy_progress(s, dst) > xy_progress(from, dst);
 }
 
-MeshRoute MeshRouter::route(Site src, Site dst) const {
+MeshRoute MeshRouter::route(Site src, Site dst, MeshRouteScratch& scratch) const {
   MeshRoute result;
   if (!grid_->in_bounds(src) || !grid_->in_bounds(dst)) return result;
   ++result.probes;  // src openness
   if (!grid_->open(src)) return result;
   result.path.push_back(src);
   Site cur = src;
+
+  if (scratch.stamp.size() != grid_->num_sites()) {
+    scratch.parent.assign(grid_->num_sites(), 0);
+    scratch.stamp.assign(grid_->num_sites(), 0);
+    scratch.epoch = 0;
+  }
 
   // Each loop iteration makes strict progress along the x-y path, so the
   // loop terminates after at most width+height successful steps plus the
@@ -55,30 +59,39 @@ MeshRoute MeshRouter::route(Site src, Site dst) const {
 
     // Distributed BFS over open sites from `cur` until any site on the
     // remaining x-y path is found (Figure 9, step 4.else). Probes count
-    // every site whose openness the search examines.
+    // every site whose openness the search examines. Each invocation bumps
+    // the scratch epoch: a site's parent entry is valid only while
+    // stamped, so no per-invocation clear (DESIGN.md §2.4).
     ++result.bfs_invocations;
-    std::unordered_map<std::size_t, std::size_t> parent;  // index -> parent index
-    std::deque<Site> queue;
-    parent.emplace(grid_->index(cur), grid_->index(cur));
-    queue.push_back(cur);
+    if (++scratch.epoch == 0) {  // epoch wrapped: hard reset once per 2^32
+      std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+      scratch.epoch = 1;
+    }
+    scratch.queue.clear();
+    const auto visit = [&](std::size_t vi, std::size_t from) {
+      scratch.parent[vi] = static_cast<std::uint32_t>(from);
+      scratch.stamp[vi] = scratch.epoch;
+    };
+    visit(grid_->index(cur), grid_->index(cur));
+    scratch.queue.push_back(static_cast<std::uint32_t>(grid_->index(cur)));
+    std::size_t head = 0;
     Site found{-1, -1};
-    while (!queue.empty()) {
-      const Site u = queue.front();
-      queue.pop_front();
+    while (head < scratch.queue.size()) {
+      const Site u = grid_->site_at(scratch.queue[head++]);
       bool done = false;
       grid_->for_each_neighbor(u, [&](Site v) {
         if (done) return;
         const std::size_t vi = grid_->index(v);
-        if (parent.contains(vi)) return;
+        if (scratch.stamp[vi] == scratch.epoch) return;  // already seen
         ++result.probes;  // examine v
         if (!grid_->open(v)) return;
-        parent.emplace(vi, grid_->index(u));
+        visit(vi, grid_->index(u));
         if (on_remaining_path(v, cur, dst)) {
           found = v;
           done = true;
           return;
         }
-        queue.push_back(v);
+        scratch.queue.push_back(static_cast<std::uint32_t>(vi));
       });
       if (done) break;
     }
@@ -86,7 +99,7 @@ MeshRoute MeshRouter::route(Site src, Site dst) const {
 
     // Walk the discovered detour (reverse the parent chain).
     std::vector<Site> detour;
-    for (std::size_t vi = grid_->index(found);; vi = parent.at(vi)) {
+    for (std::size_t vi = grid_->index(found);; vi = scratch.parent[vi]) {
       detour.push_back(grid_->site_at(vi));
       if (vi == grid_->index(cur)) break;
     }
@@ -96,6 +109,11 @@ MeshRoute MeshRouter::route(Site src, Site dst) const {
   }
   result.success = true;
   return result;
+}
+
+MeshRoute MeshRouter::route(Site src, Site dst) const {
+  MeshRouteScratch scratch;
+  return route(src, dst, scratch);
 }
 
 }  // namespace sens

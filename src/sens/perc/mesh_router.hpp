@@ -29,6 +29,18 @@ struct MeshRoute {
   [[nodiscard]] std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
 };
 
+/// Caller-owned working memory for the detour BFS inside `route`:
+/// timestamp-versioned parent array plus a reusable frontier, replacing a
+/// hash map + deque allocated per BFS invocation (the traversal contract,
+/// DESIGN.md §2.4). Contents are opaque; never share one scratch between
+/// threads.
+struct MeshRouteScratch {
+  std::vector<std::uint32_t> parent;  ///< site index -> parent site index
+  std::vector<std::uint32_t> stamp;   ///< per-site epoch mark
+  std::vector<std::uint32_t> queue;   ///< frontier, reused across invocations
+  std::uint32_t epoch = 0;
+};
+
 class MeshRouter {
  public:
   explicit MeshRouter(const SiteGrid& grid) : grid_(&grid) {}
@@ -36,6 +48,10 @@ class MeshRouter {
   /// Route from `src` to `dst`; both must be open sites of the same cluster
   /// for success to be guaranteed. The route fails (success = false) only
   /// when the cluster of `src` contains no remaining-path site.
+  /// Allocation-free per detour BFS given a warm scratch.
+  [[nodiscard]] MeshRoute route(Site src, Site dst, MeshRouteScratch& scratch) const;
+
+  /// Allocating wrapper (one-off routes, tests).
   [[nodiscard]] MeshRoute route(Site src, Site dst) const;
 
  private:

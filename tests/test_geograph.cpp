@@ -133,6 +133,17 @@ TEST(Knn, GraphIsUndirectedUnion) {
   for (std::uint32_t u = 0; u < ps.size(); ++u) EXPECT_GE(g.graph.degree(u), k);
 }
 
+TEST(Knn, GraphWithKAtLeastNIsComplete) {
+  // Adversarial k >= n: every vertex selects all others, so the selection
+  // union (CsrGraph::from_selections) must be the complete graph.
+  const Box w{{0.0, 0.0}, {4.0, 4.0}};
+  const PointSet ps = poisson_point_set(w, 1.5, 35);
+  ASSERT_GE(ps.size(), 3u);
+  const GeoGraph g = build_knn_graph(ps.points, ps.size() + 5);
+  EXPECT_EQ(g.graph.num_edges(), ps.size() * (ps.size() - 1) / 2);
+  for (std::uint32_t u = 0; u < ps.size(); ++u) EXPECT_EQ(g.graph.degree(u), ps.size() - 1);
+}
+
 // Restore the default worker count even if an assertion fails mid-test.
 class ThreadCountGuard {
  public:

@@ -137,6 +137,44 @@ TEST(Chemical, SamplesRespectLowerBound) {
   }
 }
 
+TEST(Chemical, IntoMatchesAllocatingWrapperAcrossSources) {
+  // One scratch + buffer reused across sources (including a closed one)
+  // must match fresh allocating runs exactly (DESIGN.md §2.4).
+  SiteGrid g = SiteGrid::random(32, 32, 0.7, 12);
+  g.set_open({3, 3}, false);
+  ChemicalScratch scratch;
+  std::vector<std::uint32_t> dist(g.num_sites());
+  for (const Site s : {Site{0, 0}, Site{3, 3}, Site{31, 31}, Site{16, 5}}) {
+    chemical_distances_into(g, s, scratch, dist);
+    EXPECT_EQ(dist, chemical_distances(g, s));
+  }
+}
+
+TEST(MeshRouterTest, ScratchRouteMatchesAllocatingWrapper) {
+  // Scratch reuse across routes (and across the BFS invocations inside one
+  // route) must not change paths or probe accounting.
+  const SiteGrid g = SiteGrid::random(48, 48, 0.68, 5);
+  const ClusterLabels cl(g);
+  const MeshRouter router(g);
+  std::vector<Site> giant;
+  for (std::size_t i = 0; i < g.num_sites(); i += 5) {
+    const Site s = g.site_at(i);
+    if (cl.in_largest(s)) giant.push_back(s);
+  }
+  ASSERT_GE(giant.size(), 4u);
+  MeshRouteScratch scratch;
+  for (std::size_t i = 0; i + 1 < giant.size(); i += giant.size() / 4) {
+    const MeshRoute with_scratch = router.route(giant[i], giant[giant.size() - 1 - i], scratch);
+    const MeshRoute fresh = router.route(giant[i], giant[giant.size() - 1 - i]);
+    EXPECT_EQ(with_scratch.success, fresh.success);
+    EXPECT_EQ(with_scratch.probes, fresh.probes);
+    EXPECT_EQ(with_scratch.bfs_invocations, fresh.bfs_invocations);
+    ASSERT_EQ(with_scratch.path.size(), fresh.path.size());
+    for (std::size_t p = 0; p < fresh.path.size(); ++p)
+      EXPECT_EQ(with_scratch.path[p], fresh.path[p]);
+  }
+}
+
 TEST(MeshRouterTest, FullLatticeFollowsXyPath) {
   const SiteGrid g(16, 16, true);
   const MeshRouter router(g);
