@@ -13,10 +13,12 @@
 #include "sens/geograph/udg.hpp"
 #include "sens/graph/bfs.hpp"
 #include "sens/graph/dijkstra.hpp"
+#include "sens/hng/hng.hpp"
 #include "sens/perc/clusters.hpp"
 #include "sens/perc/mesh_router.hpp"
 #include "sens/spatial/grid_index.hpp"
 #include "sens/spatial/grid_knn.hpp"
+#include "sens/spatial/grid_knn_pyramid.hpp"
 #include "sens/spatial/kdtree.hpp"
 #include "sens/support/parallel.hpp"
 #include "sens/tiles/classify.hpp"
@@ -356,6 +358,62 @@ void BM_BfsManySerialAlloc(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_BfsManySerialAlloc)->Arg(64);
+
+// The full hierarchical-neighbor-graph construction (DESIGN.md §2.5):
+// p-thinning levels, pyramid build, per-level k-NN linking, CSR
+// symmetrization. Baseline recorded in bench/BENCH_hng.json.
+void BM_HngBuild(benchmark::State& state) {
+  const double side = static_cast<double>(state.range(0));
+  const Box w{{0.0, 0.0}, {side, side}};
+  const PointSet ps = poisson_point_set(w, 4.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_hng(ps.points, {.promote_p = 0.25, .k = 3}, 7).geo.graph.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ps.size()));
+}
+BENCHMARK(BM_HngBuild)->Arg(16)->Arg(48);
+
+// The multi-resolution pyramid kernel in isolation: build per-level
+// density-tuned grids over p-thinned nested subsets of one shared store,
+// then run the HNG linking workload (each member of level l queries k
+// into level l+1).
+void BM_HngKnnPyramid(benchmark::State& state) {
+  const Box w{{0.0, 0.0}, {32.0, 32.0}};
+  const PointSet ps = poisson_point_set(w, 4.0, 7);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  // Levels from the real construction (one source of truth, outside the
+  // timed loop); spec l indexes the population with level >= l + 2.
+  const HngResult hng = build_hng(ps.points, {}, 7);
+  std::vector<GridKnnPyramid::LevelSpec> specs(hng.top_level >= 2 ? hng.top_level - 1 : 0);
+  for (std::uint32_t u = 0; u < hng.level.size(); ++u) {
+    for (std::uint32_t l = 2; l <= hng.level[u]; ++l) specs[l - 2].members.push_back(u);
+  }
+  for (auto& spec : specs) spec.expected_k = std::min(k, spec.members.size());
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> found;
+  for (auto _ : state) {
+    const GridKnnPyramid pyramid(ps.points, specs);
+    std::size_t touched = 0;
+    // Members of the population *below* grid l query into grid l.
+    for (std::size_t l = 0; l < pyramid.num_levels(); ++l) {
+      if (l == 0) {
+        for (std::uint32_t q = 0; q < ps.size(); ++q) {
+          touched += pyramid.level(0).nearest_into(ps.points[q], k, q, scratch, found);
+        }
+      } else {
+        for (const std::uint32_t q : specs[l - 1].members) {
+          touched += pyramid.level(l).nearest_into(ps.points[q], k, q, scratch, found);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(touched);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ps.size()));
+}
+BENCHMARK(BM_HngKnnPyramid)->Arg(3)->Arg(16);
 
 void BM_MeshRoute(benchmark::State& state) {
   const SiteGrid grid = SiteGrid::random(128, 128, 0.75, 5);

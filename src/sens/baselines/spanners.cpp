@@ -40,8 +40,9 @@ GeoGraph filter_edges(const GeoGraph& udg, Keep&& keep) {
   parallel_for(n, [&](std::size_t i) {
     const auto u = static_cast<std::uint32_t>(i);
     for (std::uint32_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
-      const std::uint32_t v = g.arc_target(a);
-      if (u > v) kept[a] = kept[g.arc_index(v, u)];
+      // Mirror the canonical orientation's verdict through the precomputed
+      // reverse-arc permutation (flat lookup, no per-edge binary search).
+      if (u > g.arc_target(a)) kept[a] = kept[g.reverse_arc(a)];
     }
   });
 

@@ -94,6 +94,13 @@ class CsrGraph {
   /// Index of the arc u -> v. Precondition: the edge exists.
   [[nodiscard]] std::size_t arc_index(std::uint32_t u, std::uint32_t v) const;
 
+  /// Index of the reverse arc: for arc a = (u -> v), reverse_arc(a) is the
+  /// arc (v -> u). Precomputed at build time (one O(m) counting pass), so
+  /// mirroring per-arc data onto reverse arcs — the spanner filters' kept
+  /// mask — is a flat lookup instead of a per-edge binary search.
+  /// Involution: reverse_arc(reverse_arc(a)) == a.
+  [[nodiscard]] std::uint32_t reverse_arc(std::size_t arc) const { return reverse_arc_[arc]; }
+
   /// Materialize `weight(u, v)` for every arc, aligned with the arc index
   /// (computed chunk-parallel; every slot is written exactly once, so the
   /// array is bit-identical at any thread count). Dijkstra's inner loop
@@ -125,8 +132,11 @@ class CsrGraph {
   [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_list() const;
 
  private:
-  std::vector<std::uint32_t> offsets_;    // n + 1
-  std::vector<std::uint32_t> adjacency_;  // 2 * m, sorted within each vertex
+  void build_reverse_arcs();
+
+  std::vector<std::uint32_t> offsets_;      // n + 1
+  std::vector<std::uint32_t> adjacency_;    // 2 * m, sorted within each vertex
+  std::vector<std::uint32_t> reverse_arc_;  // 2 * m, arc -> its reverse arc
 };
 
 }  // namespace sens

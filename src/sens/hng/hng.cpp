@@ -1,0 +1,126 @@
+#include "sens/hng/hng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "sens/graph/csr.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/spatial/grid_knn_pyramid.hpp"
+#include "sens/support/parallel.hpp"
+
+namespace sens {
+
+namespace {
+
+/// Stream tag for the promotion draws ("HNG"); each node's promotion chain
+/// is the independent stream (seed, kHngLevelStream, node).
+constexpr std::uint64_t kHngLevelStream = 0x484e47;
+
+}  // namespace
+
+HngResult build_hng(std::span<const Vec2> points, const HngParams& params, std::uint64_t seed) {
+  if (!(params.promote_p > 0.0 && params.promote_p < 1.0)) {
+    throw std::invalid_argument("build_hng: promote_p must be in (0, 1)");
+  }
+  if (params.k < 1) throw std::invalid_argument("build_hng: k must be >= 1");
+  if (params.max_level < 2) throw std::invalid_argument("build_hng: max_level must be >= 2");
+
+  HngResult r;
+  r.geo.points.assign(points.begin(), points.end());
+  const std::size_t n = points.size();
+  r.level.assign(n, 0);
+  if (n == 0) return r;
+
+  // Promotion by p-thinning: node u climbs while its own stream keeps
+  // drawing heads. Each node reads only its (seed, stream, u) draws, so the
+  // level vector is a pure function of (seed, params) — never of the chunk
+  // schedule (DESIGN.md §2.5).
+  parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      Rng rng = Rng::stream(seed, kHngLevelStream, u);
+      std::uint32_t level = 1;
+      while (level < params.max_level && rng.bernoulli(params.promote_p)) ++level;
+      r.level[u] = level;
+    }
+  });
+  r.top_level = *std::max_element(r.level.begin(), r.level.end());
+
+  // Population lists S_2 ⊇ ... ⊇ S_top (S_1 is the whole input and is
+  // never queried), built straight into the pyramid specs — one ascending
+  // pass over the level vector, no intermediate copies. One density-tuned
+  // grid per linking target, all subset views over one shared store.
+  std::vector<GridKnnPyramid::LevelSpec> specs(r.top_level >= 2 ? r.top_level - 1 : 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t l = 2; l <= r.level[u]; ++l) {
+      specs[l - 2].members.push_back(u);
+    }
+  }
+  for (auto& spec : specs) spec.expected_k = std::min(params.k, spec.members.size());
+  r.cumulative_size.resize(r.top_level);
+  r.cumulative_size[0] = static_cast<std::uint32_t>(n);
+  for (std::uint32_t l = 2; l <= r.top_level; ++l) {
+    r.cumulative_size[l - 1] = static_cast<std::uint32_t>(specs[l - 2].members.size());
+  }
+  const GridKnnPyramid pyramid(points, specs);
+
+  // Directed selections: a node of exact level l < top links to its
+  // min(k, |S_{l+1}|) nearest neighbors in S_{l+1}; the top-level nodes are
+  // mutually interconnected (the paper's top clique — expected O(1) nodes).
+  // Degrees are a pure function of the level vector, so the offsets are
+  // fixed up front and every node fills its own disjoint slice.
+  // S_top lives in the last spec when the hierarchy has >= 2 levels;
+  // otherwise (nobody promoted — astronomically rare beyond tiny n) it is
+  // every node.
+  std::vector<std::uint32_t> everyone;
+  if (r.top_level < 2) {
+    everyone.resize(n);
+    std::iota(everyone.begin(), everyone.end(), 0u);
+  }
+  const std::vector<std::uint32_t>& top =
+      r.top_level >= 2 ? specs[r.top_level - 2].members : everyone;
+  FlatAdjacency sel;
+  sel.offsets.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::uint32_t l = r.level[u];
+    const std::size_t out_deg =
+        l == r.top_level ? top.size() - 1
+                         : std::min(params.k, static_cast<std::size_t>(r.cumulative_size[l]));
+    sel.offsets[u + 1] = sel.offsets[u] + static_cast<std::uint32_t>(out_deg);
+  }
+  sel.neighbors.resize(sel.offsets[n]);
+
+  auto link = [&](std::size_t begin, std::size_t end, GridKnn::QueryScratch& scratch,
+                  std::vector<std::uint32_t>& found) {
+    for (std::size_t u = begin; u < end; ++u) {
+      std::uint32_t* slot = sel.neighbors.data() + sel.offsets[u];
+      const std::uint32_t l = r.level[u];
+      if (l == r.top_level) {
+        for (const std::uint32_t v : top) {
+          if (v != u) *slot++ = v;
+        }
+        continue;
+      }
+      pyramid.level(l - 1).nearest_into(points[u], params.k, static_cast<std::uint32_t>(u),
+                                        scratch, found);
+      std::copy(found.begin(), found.end(), slot);
+    }
+  };
+  if (thread_count() == 1) {
+    GridKnn::QueryScratch scratch;
+    std::vector<std::uint32_t> found;
+    link(0, n, scratch, found);
+  } else {
+    parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+      GridKnn::QueryScratch scratch;
+      std::vector<std::uint32_t> found;
+      link(begin, end, scratch, found);
+    });
+  }
+
+  r.geo.graph = CsrGraph::from_selections(std::move(sel));
+  return r;
+}
+
+}  // namespace sens

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 namespace sens {
 
@@ -11,11 +12,28 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 GridKnn::GridKnn(std::span<const Vec2> points, std::size_t expected_k)
-    : points_(points.begin(), points.end()) {
-  if (points_.empty()) return;
-  Vec2 hi = points_[0];
-  lo_ = points_[0];
-  for (const Vec2& p : points_) {
+    : owned_points_(points.begin(), points.end()), points_(owned_points_) {
+  std::vector<std::uint32_t> all(owned_points_.size());
+  std::iota(all.begin(), all.end(), 0u);
+  build(all, expected_k);
+}
+
+GridKnn::GridKnn(std::span<const Vec2> shared_points, std::span<const std::uint32_t> members,
+                 std::size_t expected_k)
+    : points_(shared_points) {
+  build(members, expected_k);
+}
+
+/// Index the points named by `members` (ids into `points_`): grid geometry
+/// tuned to the members' bounding box and density, bucket arrays over
+/// member ids only. The search kernels never look at non-member points —
+/// they only walk `order_`.
+void GridKnn::build(std::span<const std::uint32_t> members, std::size_t expected_k) {
+  if (members.empty()) return;
+  Vec2 hi = points_[members[0]];
+  lo_ = points_[members[0]];
+  for (const std::uint32_t m : members) {
+    const Vec2 p = points_[m];
     lo_.x = std::min(lo_.x, p.x);
     lo_.y = std::min(lo_.y, p.y);
     hi.x = std::max(hi.x, p.x);
@@ -23,7 +41,7 @@ GridKnn::GridKnn(std::span<const Vec2> points, std::size_t expected_k)
   }
   const double w = std::max(hi.x - lo_.x, 1e-9);
   const double h = std::max(hi.y - lo_.y, 1e-9);
-  const double density = static_cast<double>(points_.size()) / (w * h);
+  const double density = static_cast<double>(members.size()) / (w * h);
   // Target ~k/4 (streaming) or ~k/16 (selection) points per cell, floored
   // so the grid never exceeds ~4n cells (degenerate aspect-ratio guard).
   const double per_cell =
@@ -35,7 +53,7 @@ GridKnn::GridKnn(std::span<const Vec2> points, std::size_t expected_k)
   // Cap the grid at ~4n cells. The per-axis ceil makes this a doubling loop
   // rather than a closed form: a degenerate aspect ratio (e.g. collinear
   // points) floors one axis at a single cell while the other explodes.
-  const long max_cells = 4 * static_cast<long>(points_.size()) + 8;
+  const long max_cells = 4 * static_cast<long>(members.size()) + 8;
   while (nx_ * ny_ > max_cells) {
     cell_ *= 2.0;
     nx_ = std::max(1L, static_cast<long>(std::ceil(w / cell_)));
@@ -52,12 +70,12 @@ GridKnn::GridKnn(std::span<const Vec2> points, std::size_t expected_k)
            static_cast<std::size_t>(ix);
   };
   std::vector<std::uint32_t> counts(cells, 0);
-  for (const Vec2& p : points_) ++counts[cell_of(p)];
+  for (const std::uint32_t m : members) ++counts[cell_of(points_[m])];
   offsets_.assign(cells + 1, 0);
   for (std::size_t c = 0; c < cells; ++c) offsets_[c + 1] = offsets_[c] + counts[c];
-  order_.resize(points_.size());
+  order_.resize(members.size());
   std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (std::uint32_t i = 0; i < points_.size(); ++i) order_[cursor[cell_of(points_[i])]++] = i;
+  for (const std::uint32_t m : members) order_[cursor[cell_of(points_[m])]++] = m;
 }
 
 /// Streaming path: a sorted bounded candidate array on the stack
@@ -230,7 +248,7 @@ void GridKnn::collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
 std::size_t GridKnn::nearest_into(Vec2 q, std::size_t k, std::uint32_t exclude,
                                   QueryScratch& scratch, std::vector<std::uint32_t>& out) const {
   out.clear();
-  if (points_.empty() || k == 0) return 0;
+  if (order_.empty() || k == 0) return 0;  // order_ is the indexed-point set
   if (k <= kStreamingMaxK) {
     QueryScratch::Candidate best[kStreamingMaxK];
     const std::size_t cnt = collect_small(q, k, exclude, best);

@@ -12,7 +12,10 @@
 // chunk-parallel with one scratch per chunk (DESIGN.md §2.3).
 //
 // Cell size is tuned at construction for an expected query size k; queries
-// with other k values stay exact, only ring granularity is off-tune.
+// with other k values stay exact, only ring granularity is off-tune. A
+// second constructor indexes a *subset* of a shared point store without
+// copying coordinates — the per-level building block of `GridKnnPyramid`
+// (spatial/grid_knn_pyramid.hpp).
 #pragma once
 
 #include <cstddef>
@@ -29,6 +32,24 @@ class GridKnn {
   /// Build over `points`, tuning the cell size for queries of ~`expected_k`
   /// neighbors (any k stays exact). Bounds are the point bounding box.
   GridKnn(std::span<const Vec2> points, std::size_t expected_k);
+
+  /// Subset view over a *shared* point store: index only the points named in
+  /// `members` (ids into `shared_points`), without copying any coordinates.
+  /// Queries return those global ids, with the same (distance, index)
+  /// tie-break as the owning constructor — equivalent to a fresh GridKnn
+  /// over the compacted subset with ids mapped back (asserted by
+  /// `GridKnnPyramid.LevelsMatchFreshGridKnnOracle`). The caller must keep
+  /// `shared_points` alive and unmoved for the lifetime of this index; the
+  /// grid geometry is tuned to the *subset's* bounding box and density.
+  GridKnn(std::span<const Vec2> shared_points, std::span<const std::uint32_t> members,
+          std::size_t expected_k);
+
+  GridKnn(GridKnn&&) noexcept = default;
+  GridKnn& operator=(GridKnn&&) noexcept = default;
+  // Copying is deleted: the owning constructor's `points_` span refers to
+  // this object's own `owned_points_`, which a member-wise copy would alias.
+  GridKnn(const GridKnn&) = delete;
+  GridKnn& operator=(const GridKnn&) = delete;
 
   static constexpr std::uint32_t npos = 0xffffffffu;
 
@@ -51,22 +72,25 @@ class GridKnn {
   std::size_t nearest_into(Vec2 q, std::size_t k, std::uint32_t exclude, QueryScratch& scratch,
                            std::vector<std::uint32_t>& out) const;
 
-  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  /// Number of *indexed* points (the member count for a subset view).
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
   [[nodiscard]] std::span<const Vec2> points() const { return points_; }
 
  private:
+  void build(std::span<const std::uint32_t> members, std::size_t expected_k);
   std::size_t collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
                             QueryScratch::Candidate* best) const;
   void collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
                      std::vector<QueryScratch::Candidate>& cands) const;
 
-  std::vector<Vec2> points_;
+  std::vector<Vec2> owned_points_;     ///< owning ctor only; empty for subset views
+  std::span<const Vec2> points_;       ///< what the kernel reads (shared or owned)
   Vec2 lo_{0.0, 0.0};
   double cell_ = 1.0;
   long nx_ = 1;
   long ny_ = 1;
   std::vector<std::uint32_t> offsets_;  // nx*ny + 1
-  std::vector<std::uint32_t> order_;    // point indices grouped by cell
+  std::vector<std::uint32_t> order_;    // indexed point ids grouped by cell
 
   /// Up to this k the candidate set is a sorted array maintained by
   /// insertion while streaming cells; beyond it, candidates are collected

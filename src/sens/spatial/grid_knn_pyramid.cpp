@@ -1,0 +1,24 @@
+#include "sens/spatial/grid_knn_pyramid.hpp"
+
+#include <stdexcept>
+
+namespace sens {
+
+GridKnnPyramid::GridKnnPyramid(std::span<const Vec2> points, std::span<const LevelSpec> levels)
+    : store_(points.begin(), points.end()) {
+  levels_.reserve(levels.size());
+  for (const LevelSpec& spec : levels) {
+    for (const std::uint32_t m : spec.members) {
+      if (m >= store_.size()) {
+        throw std::out_of_range("GridKnnPyramid: member id out of range");
+      }
+    }
+    // store_ never reallocates after this constructor, so the subset views
+    // stay valid for the pyramid's lifetime (and across moves: the moved
+    // vector keeps its heap buffer).
+    levels_.emplace_back(std::span<const Vec2>(store_), std::span<const std::uint32_t>(spec.members),
+                         spec.expected_k);
+  }
+}
+
+}  // namespace sens

@@ -380,6 +380,36 @@ TEST(UnionFindTest, BasicInvariants) {
   EXPECT_EQ(uf.set_size(9), 1u);
 }
 
+// The precomputed reverse-arc permutation (the spanner filters' flat
+// mirror lookup): on a pinned-seed random graph, through both the Builder
+// and the selection construction paths, every arc round-trips.
+TEST(Csr, ReverseArcRoundTripOnPinnedSeed) {
+  const std::size_t n = 300;
+  const CsrGraph g = CsrGraph::from_edges(n, random_edges(n, 1200, 0x5EB5));
+  ASSERT_GT(g.num_edges(), 0u);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      const std::uint32_t v = g.arc_target(a);
+      const std::uint32_t rev = g.reverse_arc(a);
+      EXPECT_EQ(rev, g.arc_index(v, u));        // the binary search it replaces
+      EXPECT_EQ(g.arc_target(rev), u);          // reverse arc points back
+      EXPECT_EQ(g.reverse_arc(rev), a);         // involution
+    }
+  }
+  // The selection path funnels through from_symmetric_adjacency; its
+  // permutation must satisfy the same contract.
+  FlatAdjacency sel;
+  sel.offsets = {0, 2, 3, 4, 4};
+  sel.neighbors = {1, 2, 3, 0};
+  const CsrGraph s = CsrGraph::from_selections(std::move(sel));
+  for (std::uint32_t u = 0; u < s.num_vertices(); ++u) {
+    for (std::uint32_t a = s.arc_begin(u); a < s.arc_end(u); ++a) {
+      EXPECT_EQ(s.reverse_arc(a), s.arc_index(s.arc_target(a), u));
+      EXPECT_EQ(s.reverse_arc(s.reverse_arc(a)), a);
+    }
+  }
+}
+
 TEST(UnionFindTest, AgreesWithComponents) {
   Rng rng(5);
   const std::size_t n = 200;

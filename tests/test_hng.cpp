@@ -1,0 +1,170 @@
+// Tests for sens/hng: the hierarchical neighbor graph construction
+// (arXiv:0903.0742) — p-thinning levels, per-level k-NN linking, the top
+// clique, connectivity, and the DESIGN.md §2.5 determinism contract
+// (bit-identical overlays at any thread count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sens/geograph/point_set.hpp"
+#include "sens/graph/components.hpp"
+#include "sens/hng/hng.hpp"
+#include "sens/support/parallel.hpp"
+
+namespace sens {
+namespace {
+
+/// The shared fixture deployment: ~1150 Poisson points on a 24x24 window.
+const PointSet& fixture_points() {
+  static const PointSet ps = poisson_point_set(Box{{0.0, 0.0}, {24.0, 24.0}}, 2.0, 0x5EB5);
+  return ps;
+}
+
+/// Brute-force k nearest members of `members` to points[u] (excluding u),
+/// with the engines' (distance, index) tie-break.
+std::vector<std::uint32_t> brute_knn(const std::vector<Vec2>& points, std::uint32_t u,
+                                     std::vector<std::uint32_t> members, std::size_t k) {
+  std::erase(members, u);
+  std::sort(members.begin(), members.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double da = dist2(points[a], points[u]);
+    const double db = dist2(points[b], points[u]);
+    return da != db ? da < db : a < b;
+  });
+  members.resize(std::min(k, members.size()));
+  return members;
+}
+
+TEST(Hng, RejectsInvalidParams) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_THROW(build_hng(pts, {.promote_p = 0.0}, 1), std::invalid_argument);
+  EXPECT_THROW(build_hng(pts, {.promote_p = 1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(build_hng(pts, {.promote_p = -0.5}, 1), std::invalid_argument);
+  EXPECT_THROW(build_hng(pts, {.promote_p = 0.5, .k = 0}, 1), std::invalid_argument);
+  EXPECT_THROW(build_hng(pts, {.promote_p = 0.5, .k = 1, .max_level = 1}, 1),
+               std::invalid_argument);
+}
+
+TEST(Hng, EmptyAndSingletonInputs) {
+  const HngResult empty = build_hng(std::vector<Vec2>{}, {}, 7);
+  EXPECT_EQ(empty.geo.size(), 0u);
+  EXPECT_EQ(empty.top_level, 0u);
+  const HngResult one = build_hng(std::vector<Vec2>{{2.0, 3.0}}, {}, 7);
+  EXPECT_EQ(one.geo.size(), 1u);
+  EXPECT_EQ(one.geo.graph.num_edges(), 0u);
+  EXPECT_GE(one.top_level, 1u);
+  EXPECT_EQ(one.level[0], one.top_level);
+}
+
+// The headline property on the pinned default seed: one connected component
+// over *all* nodes, with small observed degree (the paper's bounded
+// expected degree; the bound here is observed slack, not the theorem).
+TEST(Hng, ConnectedWithBoundedDegreeOnPinnedSeed) {
+  const PointSet& ps = fixture_points();
+  const HngResult r = build_hng(ps.points, {.promote_p = 0.25, .k = 3}, 0x5EB5);
+  EXPECT_EQ(r.geo.size(), ps.size());
+  EXPECT_EQ(connected_components(r.geo.graph).count(), 1u);
+  // Expected degree is the theorem; the observed max (50 on this seed) can
+  // spike where many level-l nodes elect the same sparse upper neighbor.
+  EXPECT_LT(r.geo.graph.mean_degree(), 8.0);
+  EXPECT_LT(r.geo.graph.max_degree(), 64u);
+}
+
+// Level populations: S_1 is everyone, each thinning keeps a ~p fraction,
+// and the cumulative sizes are consistent with the per-node levels.
+TEST(Hng, ThinningLevelsAreConsistentAndGeometric) {
+  const PointSet& ps = fixture_points();
+  const double p = 0.25;
+  const HngResult r = build_hng(ps.points, {.promote_p = p, .k = 2}, 99);
+  ASSERT_GE(r.top_level, 2u);
+  ASSERT_EQ(r.cumulative_size.size(), r.top_level);
+  EXPECT_EQ(r.cumulative_size[0], ps.size());
+  for (std::uint32_t l = 1; l <= r.top_level; ++l) {
+    const auto count = static_cast<std::uint32_t>(
+        std::count_if(r.level.begin(), r.level.end(), [&](std::uint32_t lv) { return lv >= l; }));
+    EXPECT_EQ(count, r.cumulative_size[l - 1]);
+    EXPECT_GT(count, 0u);
+  }
+  // One p-thinning step on ~1150 nodes: the kept fraction is within 5
+  // sigma of p (binomial sd ~ 0.013 at this n).
+  const double kept = static_cast<double>(r.cumulative_size[1]) /
+                      static_cast<double>(r.cumulative_size[0]);
+  EXPECT_NEAR(kept, p, 0.065);
+}
+
+// Every node below the top links to its k nearest strictly-higher-level
+// neighbors (checked against a brute-force oracle through the symmetrized
+// graph: the selected targets must all be graph neighbors).
+TEST(Hng, NodesLinkToNearestUpperLevelNeighbors) {
+  const PointSet& ps = fixture_points();
+  const std::size_t k = 3;
+  const HngResult r = build_hng(ps.points, {.promote_p = 0.3, .k = k}, 5);
+  ASSERT_GE(r.top_level, 2u);
+  std::vector<std::vector<std::uint32_t>> members(r.top_level + 1);
+  for (std::uint32_t u = 0; u < ps.size(); ++u) {
+    for (std::uint32_t l = 1; l <= r.level[u]; ++l) members[l].push_back(u);
+  }
+  for (std::uint32_t u = 0; u < ps.size(); ++u) {
+    const std::uint32_t l = r.level[u];
+    if (l == r.top_level) continue;
+    const auto nbrs = r.geo.graph.neighbors(u);
+    for (const std::uint32_t v : brute_knn(ps.points, u, members[l + 1], k)) {
+      EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), v))
+          << "node " << u << " (level " << l << ") missing upward link to " << v;
+    }
+  }
+}
+
+TEST(Hng, TopLevelIsMutuallyInterconnected) {
+  const PointSet& ps = fixture_points();
+  const HngResult r = build_hng(ps.points, {.promote_p = 0.25, .k = 1}, 17);
+  std::vector<std::uint32_t> top;
+  for (std::uint32_t u = 0; u < ps.size(); ++u) {
+    if (r.level[u] == r.top_level) top.push_back(u);
+  }
+  ASSERT_FALSE(top.empty());
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    for (std::size_t j = i + 1; j < top.size(); ++j) {
+      EXPECT_TRUE(r.geo.graph.has_edge(top[i], top[j]));
+    }
+  }
+}
+
+// DESIGN.md §2.5: the construction is a pure function of (points, params,
+// seed) — levels and edge lists bit-identical at any thread count.
+TEST(Hng, OverlayBitIdenticalAcrossThreadCounts) {
+  const PointSet& ps = fixture_points();
+  const HngParams params{.promote_p = 0.25, .k = 3};
+  set_thread_count(1);
+  const HngResult serial = build_hng(ps.points, params, 0x5EB5);
+  for (const unsigned threads : {2u, 8u}) {
+    set_thread_count(threads);
+    const HngResult parallel = build_hng(ps.points, params, 0x5EB5);
+    EXPECT_EQ(parallel.level, serial.level);
+    EXPECT_EQ(parallel.geo.graph.edge_list(), serial.geo.graph.edge_list());
+  }
+  set_thread_count(0);
+}
+
+// Adversarial k: with k >= every |S_{l+1}| the selections must saturate at
+// the full upper population without breaking construction or connectivity.
+TEST(Hng, KLargerThanEveryLevelSaturates) {
+  const PointSet small = poisson_point_set(Box{{0.0, 0.0}, {6.0, 6.0}}, 2.0, 3);
+  ASSERT_GT(small.size(), 4u);
+  const HngResult r = build_hng(small.points, {.promote_p = 0.4, .k = 10'000}, 11);
+  EXPECT_EQ(connected_components(r.geo.graph).count(), 1u);
+  // Every node of exact level l sees the whole of S_{l+1} as neighbors.
+  for (std::uint32_t u = 0; u < small.size(); ++u) {
+    const std::uint32_t l = r.level[u];
+    if (l == r.top_level) continue;
+    for (std::uint32_t v = 0; v < small.size(); ++v) {
+      if (v != u && r.level[v] >= l + 1) {
+        EXPECT_TRUE(r.geo.graph.has_edge(u, v));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sens

@@ -10,6 +10,7 @@
 #include "sens/rng/rng.hpp"
 #include "sens/spatial/grid_index.hpp"
 #include "sens/spatial/grid_knn.hpp"
+#include "sens/spatial/grid_knn_pyramid.hpp"
 #include "sens/spatial/kdtree.hpp"
 
 namespace sens {
@@ -281,6 +282,114 @@ TEST(GridKnn, DuplicatePointsAndDegenerateInputs) {
   EXPECT_EQ(one.nearest_into({0.0, 0.0}, 0, GridKnn::npos, scratch, out), 0u);
   EXPECT_EQ(one.nearest_into({0.0, 0.0}, 3, GridKnn::npos, scratch, out), 1u);
   EXPECT_EQ(out, std::vector<std::uint32_t>{0});
+}
+
+// --- GridKnnPyramid: per-level subset views over one shared store --------
+
+class GridKnnPyramidParamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Every pyramid level must agree bit-for-bit with a *fresh* single-level
+// GridKnn built over the compacted subset coordinates (local ids mapped
+// back through the member list) — same neighbors, same order, same
+// (distance, index) tie-breaks. Member lists are ascending, so local-id
+// tie-break order equals global-id tie-break order. Mirrors
+// GridKnnParamTest.MatchesKdTreeOracle for the multi-resolution engine.
+TEST_P(GridKnnPyramidParamTest, LevelsMatchFreshGridKnnOracle) {
+  const auto pts = random_points(420, GetParam() * 23 + 1);
+  // Nested thinned subsets (keep every 2nd/4th/8th point), one grid each,
+  // tuned for very different k — the HNG workload shape.
+  std::vector<GridKnnPyramid::LevelSpec> specs;
+  const std::size_t ks[] = {4, 48, 120};
+  for (std::size_t l = 0; l < 3; ++l) {
+    GridKnnPyramid::LevelSpec spec;
+    for (std::uint32_t i = 0; i < pts.size(); i += (1u << (l + 1))) spec.members.push_back(i);
+    spec.expected_k = ks[l];
+    specs.push_back(std::move(spec));
+  }
+  const GridKnnPyramid pyramid(pts, specs);
+  ASSERT_EQ(pyramid.num_levels(), 3u);
+
+  GridKnn::QueryScratch scratch;
+  GridKnn::QueryScratch oracle_scratch;
+  std::vector<std::uint32_t> got;
+  std::vector<std::uint32_t> oracle_local;
+  for (std::size_t l = 0; l < 3; ++l) {
+    const auto& members = specs[l].members;
+    std::vector<Vec2> subset;
+    subset.reserve(members.size());
+    for (const std::uint32_t m : members) subset.push_back(pts[m]);
+    const GridKnn fresh(subset, ks[l]);
+    EXPECT_EQ(pyramid.level(l).size(), members.size());
+
+    Rng rng(GetParam() + 31 * l);
+    for (int t = 0; t < 20; ++t) {
+      const Vec2 q{rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0)};
+      // Query both off-tune (k != expected_k) and on-tune to cross the
+      // streaming/selection strategy threshold on shared scratches.
+      for (const std::size_t k : {std::size_t{1}, ks[l], std::size_t{200}}) {
+        pyramid.level(l).nearest_into(q, k, GridKnn::npos, scratch, got);
+        fresh.nearest_into(q, k, GridKnn::npos, oracle_scratch, oracle_local);
+        std::vector<std::uint32_t> want(oracle_local.size());
+        for (std::size_t i = 0; i < oracle_local.size(); ++i) want[i] = members[oracle_local[i]];
+        EXPECT_EQ(got, want) << "level " << l << " k " << k;
+      }
+    }
+    // Member self-queries with exclusion — the HNG linking workload.
+    for (std::size_t i = 0; i < members.size(); i += 7) {
+      const std::uint32_t m = members[i];
+      pyramid.level(l).nearest_into(pts[m], ks[l], m, scratch, got);
+      fresh.nearest_into(pts[m], ks[l], static_cast<std::uint32_t>(i), oracle_scratch,
+                         oracle_local);
+      std::vector<std::uint32_t> want(oracle_local.size());
+      for (std::size_t j = 0; j < oracle_local.size(); ++j) want[j] = members[oracle_local[j]];
+      EXPECT_EQ(got, want) << "level " << l << " member " << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridKnnPyramidParamTest, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(GridKnnPyramid, DuplicatePointsTieBreakByGlobalIndex) {
+  // Six coincident points; the level indexes the odd-id half. Ties must
+  // resolve by ascending *global* id within the membership.
+  std::vector<Vec2> pts(6, Vec2{3.0, 3.0});
+  std::vector<GridKnnPyramid::LevelSpec> specs(1);
+  specs[0].members = {1, 3, 5};
+  specs[0].expected_k = 2;
+  const GridKnnPyramid pyramid(pts, specs);
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  pyramid.level(0).nearest_into({3.0, 3.0}, 2, GridKnn::npos, scratch, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 3}));
+  pyramid.level(0).nearest_into({3.0, 3.0}, 2, 3, scratch, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 5}));
+}
+
+TEST(GridKnnPyramid, KAtLeastLevelSizeAndEmptyLevels) {
+  const auto pts = random_points(60, 12);
+  std::vector<GridKnnPyramid::LevelSpec> specs(2);
+  specs[0].members = {2, 11, 29, 47};
+  specs[0].expected_k = 9;  // > |members|
+  specs[1].members = {};    // empty level: queries must return 0
+  specs[1].expected_k = 3;
+  const GridKnnPyramid pyramid(pts, specs);
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  // k >= n collects the whole membership, sorted by (distance, id).
+  EXPECT_EQ(pyramid.level(0).nearest_into({5.0, 5.0}, 9, GridKnn::npos, scratch, out), 4u);
+  std::vector<std::uint32_t> sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, specs[0].members);
+  EXPECT_EQ(pyramid.level(0).nearest_into({5.0, 5.0}, 9, 29, scratch, out), 3u);
+  EXPECT_EQ(pyramid.level(1).nearest_into({5.0, 5.0}, 3, GridKnn::npos, scratch, out), 0u);
+  EXPECT_EQ(pyramid.level(1).size(), 0u);
+}
+
+TEST(GridKnnPyramid, RejectsOutOfRangeMembers) {
+  const auto pts = random_points(10, 4);
+  std::vector<GridKnnPyramid::LevelSpec> specs(1);
+  specs[0].members = {3, 10};
+  EXPECT_THROW(GridKnnPyramid(pts, specs), std::out_of_range);
 }
 
 // Collinear points: a degenerate (zero-height) bounding box must not break
