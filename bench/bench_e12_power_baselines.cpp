@@ -87,6 +87,7 @@ int main(int argc, char** argv) {
   // query below (allocation-free early-exit runs, DESIGN.md §2.4).
   const MetricWeights w_udg(udg), w_gg(gg), w_rng(rng_g), w_yao(yao);
   DijkstraScratch scratch;
+  SensRouteScratch route_scratch;
 
   std::size_t used = 0;
   for (std::size_t t = 0; t < pairs * 4 && used < pairs; ++t) {
@@ -116,7 +117,7 @@ int main(int argc, char** argv) {
     eval(yao, w_yao, agg_yao);
 
     // SENS: the actual routed path (not an omniscient shortest path).
-    const SensRoute route = sens_router.route(sa, sb);
+    const SensRoute route = sens_router.route(sa, sb, route_scratch);
     if (route.success) {
       agg_sens.len_stretch.add(route.euclid_length / straight);
       agg_sens.pow2_stretch.add(route.power2 / udg_p2);

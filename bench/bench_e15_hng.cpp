@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "sens/baselines/spanners.hpp"
+#include "sens/core/nn_sens.hpp"
 #include "sens/core/sens_router.hpp"
 #include "sens/core/udg_sens.hpp"
 #include "sens/geograph/udg.hpp"
@@ -21,7 +22,10 @@
 #include "sens/graph/dijkstra.hpp"
 #include "sens/hng/hng.hpp"
 #include "sens/rng/rng.hpp"
+#include "sens/spatial/kdtree.hpp"
 #include "sens/support/stats.hpp"
+#include "sens/tiles/classify.hpp"
+#include "sens/tiles/nn_tile.hpp"
 
 using namespace sens;
 using namespace sens::bench;
@@ -91,6 +95,30 @@ int main(int argc, char** argv) {
   const HngResult hng = build_hng(r.points.points, hng_params, env.seed);
   cost.add_row({"HNG(p=0.25, k=3)", Table::fmt(build_timer.millis(), 2)});
 
+  // NN-SENS over the *same* Poisson points. The NN model is scale free
+  // (Section 2.2: unit density WLOG), so the shared points are rescaled by
+  // s = sqrt(lambda) to unit density and classified with the paper's
+  // Theorem 2.4 tile spec on the interior tiles of the rescaled window;
+  // lengths and powers map back through 1/s and 1/s^beta, so the stretch
+  // ratios below are directly comparable with the UDG-normalized tables.
+  build_timer.reset();
+  const double nn_s = std::sqrt(lambda);
+  std::vector<Vec2> nn_points(r.points.points.size());
+  for (std::size_t i = 0; i < nn_points.size(); ++i) nn_points[i] = r.points.points[i] * nn_s;
+  const NnTileSpec nn_spec = NnTileSpec::paper();
+  const Box nn_box{window.lo * nn_s, window.hi * nn_s};
+  TileWindow nn_window;
+  nn_window.i0 = static_cast<std::int64_t>(std::ceil(nn_box.lo.x / nn_spec.side()));
+  nn_window.j0 = static_cast<std::int64_t>(std::ceil(nn_box.lo.y / nn_spec.side()));
+  nn_window.width = static_cast<std::int32_t>(
+      static_cast<std::int64_t>(std::floor(nn_box.hi.x / nn_spec.side())) - nn_window.i0);
+  nn_window.height = static_cast<std::int32_t>(
+      static_cast<std::int64_t>(std::floor(nn_box.hi.y / nn_spec.side())) - nn_window.j0);
+  const NnClassification nn_cls = classify_nn(nn_spec, nn_points, nn_window);
+  const KdTree nn_tree(nn_points);
+  const Overlay nn_ov = build_nn_overlay(nn_cls, nn_points, nn_tree);
+  cost.add_row({"NN-SENS (classify + overlay)", Table::fmt(build_timer.millis(), 2)});
+
   // The p-thinning hierarchy: |S_l| should decay geometrically with ratio
   // ~p, and the top population (the mutually-linked clique) should be O(1).
   Table hier({"level", "|S_l| (level >= l)", "exact-level nodes", "links per node"});
@@ -111,9 +139,11 @@ int main(int argc, char** argv) {
   sparsity_row(deg, "RNG", rng_g);
   sparsity_row(deg, "Yao(7)", yao);
   sparsity_row(deg, "UDG-SENS", r.overlay.geo);
+  sparsity_row(deg, "NN-SENS", nn_ov.geo);
   sparsity_row(deg, "HNG(p=0.25, k=3)", hng.geo);
   env.emit("sparsity and connectivity (all graphs over the same Poisson points; "
-           "SENS keeps only elected nodes, HNG keeps every node)",
+           "SENS keeps only elected nodes, HNG keeps every node; NN-SENS tiles the "
+           "rescaled window, so its node budget covers fewer, larger tiles)",
            deg);
 
   // Stretch between SENS representatives — points present in every graph
@@ -127,6 +157,7 @@ int main(int argc, char** argv) {
 
   const MetricWeights w_udg(udg), w_gg(gg), w_rng(rng_g), w_yao(yao), w_hng(hng.geo);
   DijkstraScratch scratch;
+  SensRouteScratch route_scratch;
 
   std::size_t used = 0;
   for (std::size_t t = 0; t < pairs * 4 && used < pairs; ++t) {
@@ -159,7 +190,7 @@ int main(int argc, char** argv) {
     eval(hng.geo, w_hng, agg_hng);
 
     // SENS: the actual routed path (not an omniscient shortest path).
-    const SensRoute route = sens_router.route(sa, sb);
+    const SensRoute route = sens_router.route(sa, sb, route_scratch);
     if (route.success) {
       agg_sens.len_stretch.add(route.euclid_length / straight);
       agg_sens.pow2_stretch.add(route.power2 / udg_p2);
@@ -185,6 +216,62 @@ int main(int argc, char** argv) {
   env.emit("stretch between SENS representatives (power stretch normalized to the optimal "
            "UDG path; HNG links may exceed the unit disk radius)",
            st);
+
+  // Stretch between NN-SENS representatives. NN good tiles live on the
+  // rescaled window, so the pairs differ from the UDG-rep pairs above; the
+  // UDG optimal path between the same base points (same point ids via
+  // base_index) is the per-pair normalizer, exactly as in the main table.
+  const auto nn_reps = nn_ov.giant_rep_sites();
+  Agg agg_nn_opt, agg_nn;
+  if (nn_reps.size() >= 2) {
+    const SensRouter nn_router(nn_ov);
+    SensRouteScratch nn_scratch;
+    Rng nn_pick = Rng::stream(env.seed, 0xe15, 2);
+    std::size_t nn_used = 0;
+    for (std::size_t t = 0; t < pairs * 4 && nn_used < pairs; ++t) {
+      const Site sa = nn_reps[nn_pick.uniform_index(nn_reps.size())];
+      const Site sb = nn_reps[nn_pick.uniform_index(nn_reps.size())];
+      if (sa == sb) continue;
+      const std::uint32_t a = nn_ov.base_index[nn_ov.rep_of(sa)];
+      const std::uint32_t b = nn_ov.base_index[nn_ov.rep_of(sb)];
+      const double straight = dist(r.points.points[a], r.points.points[b]);
+      if (straight < 5.0) continue;
+
+      const double udg_len = dijkstra_cost(udg.graph, a, b, w_udg.length, scratch);
+      const double udg_p2 = dijkstra_cost(udg.graph, a, b, w_udg.power2, scratch);
+      const double udg_p3 = dijkstra_cost(udg.graph, a, b, w_udg.power3, scratch);
+      const double udg_p5 = dijkstra_cost(udg.graph, a, b, w_udg.power5, scratch);
+      if (udg_len >= kInfCost) continue;
+      agg_nn_opt.len_stretch.add(udg_len / straight);
+      agg_nn_opt.pow2_stretch.add(1.0);
+      agg_nn_opt.pow3_stretch.add(1.0);
+      agg_nn_opt.pow5_stretch.add(1.0);
+
+      const SensRoute route = nn_router.route(sa, sb, nn_scratch);
+      if (route.success) {
+        agg_nn.len_stretch.add(route.euclid_length / nn_s / straight);
+        agg_nn.pow2_stretch.add(route.power2 / (nn_s * nn_s) / udg_p2);
+        agg_nn.pow3_stretch.add(nn_ov.geo.path_power(route.node_path, 3.0) /
+                                std::pow(nn_s, 3.0) / udg_p3);
+        agg_nn.pow5_stretch.add(nn_ov.geo.path_power(route.node_path, 5.0) /
+                                std::pow(nn_s, 5.0) / udg_p5);
+      }
+      ++nn_used;
+    }
+  }
+  Table nnst({"graph", "length stretch mean", "length stretch max", "power stretch b=2 (mean)",
+              "power stretch b=3 (mean)", "power stretch b=5 (mean)"});
+  auto nn_row = [&](const std::string& name, const Agg& a) {
+    nnst.add_row({name, Table::fmt(a.len_stretch.mean(), 4), Table::fmt(a.len_stretch.max(), 4),
+                  Table::fmt(a.pow2_stretch.mean(), 4), Table::fmt(a.pow3_stretch.mean(), 4),
+                  Table::fmt(a.pow5_stretch.mean(), 4)});
+  };
+  nn_row("UDG (optimal)", agg_nn_opt);
+  nn_row("NN-SENS (routed)", agg_nn);
+  env.emit("stretch between NN-SENS representatives (lengths and powers rescaled back from "
+           "the unit-density window by 1/s^beta, s = sqrt(lambda); normalizer is the optimal "
+           "UDG path between the same base points)",
+           nnst);
 
   // Wall-clock is deliberately *not* emitted: the --json document must be
   // byte-identical across runs and --threads values.

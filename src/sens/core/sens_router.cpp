@@ -18,8 +18,13 @@ int step_dir(Site a, Site b) {
 }  // namespace
 
 SensRoute SensRouter::route(Site src, Site dst) const {
+  SensRouteScratch scratch;
+  return route(src, dst, scratch);
+}
+
+SensRoute SensRouter::route(Site src, Site dst, SensRouteScratch& scratch) const {
   SensRoute out;
-  const MeshRoute mesh_route = mesh_.route(src, dst, mesh_scratch_);
+  const MeshRoute mesh_route = mesh_.route(src, dst, scratch.mesh);
   out.probes = mesh_route.probes;
   if (!mesh_route.success) return out;
   out.tile_hops = mesh_route.hops();

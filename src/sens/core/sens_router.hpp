@@ -27,6 +27,15 @@ struct SensRoute {
   }
 };
 
+/// Caller-owned working memory for SensRouter::route — the serving contract
+/// (DESIGN.md §2.6): routers hold no mutable scratch, so one router instance
+/// serves any number of concurrent callers, each bringing its own scratch.
+/// Contents are opaque and clobbered by every call; never share one scratch
+/// between threads.
+struct SensRouteScratch {
+  MeshRouteScratch mesh;  ///< detour-BFS memory of the underlying mesh route
+};
+
 class SensRouter {
  public:
   explicit SensRouter(const Overlay& overlay) : overlay_(&overlay), mesh_(overlay.sites) {}
@@ -34,15 +43,17 @@ class SensRouter {
   /// Route between the representatives of two good tiles. The tile route
   /// comes from the percolated-mesh router; every mesh edge (t -> t') is
   /// realized as rep(t) -> exit relays of t -> entry relays of t' -> rep(t').
-  /// Reuses a router-owned mesh scratch across calls (allocation-free
-  /// detour BFS, DESIGN.md §2.4) — a SensRouter must therefore not be
-  /// shared between threads.
+  /// Allocation-free detour BFS given a warm caller-owned scratch
+  /// (DESIGN.md §2.4); the router itself is immutable after construction
+  /// and safe to share between concurrent callers (§2.6).
+  [[nodiscard]] SensRoute route(Site src, Site dst, SensRouteScratch& scratch) const;
+
+  /// Allocating wrapper (one-off routes, tests).
   [[nodiscard]] SensRoute route(Site src, Site dst) const;
 
  private:
   const Overlay* overlay_;
   MeshRouter mesh_;
-  mutable MeshRouteScratch mesh_scratch_;
 };
 
 }  // namespace sens

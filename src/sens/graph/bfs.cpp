@@ -1,6 +1,7 @@
 #include "sens/graph/bfs.hpp"
 
 #include "sens/support/parallel.hpp"
+#include "sens/support/scratch_pool.hpp"
 
 namespace sens {
 
@@ -85,13 +86,15 @@ std::vector<std::uint32_t> bfs_path(const CsrGraph& g, std::uint32_t source,
 void bfs_many_into(const CsrGraph& g, std::span<const std::uint32_t> sources,
                    std::span<std::uint32_t> out) {
   const std::size_t n = g.num_vertices();
+  // Leased per-participant scratch for the same reason as
+  // dijkstra_many_into: chunks often hold one source, rows depend only on
+  // (graph, source), and the pool dies with this call so no per-thread
+  // allocation outlives it (DESIGN.md §2.4, §2.6).
+  ScratchPool<BfsScratch> scratches;
   parallel_for_chunks(sources.size(), [&](std::size_t begin, std::size_t end) {
-    // Per-thread scratch for the same reason as dijkstra_many_into: chunks
-    // often hold one source, and rows depend only on (graph, source), so
-    // reuse keeps the output bit-identical at any thread count (§2.4).
-    thread_local BfsScratch scratch;
+    const auto scratch = scratches.acquire();
     for (std::size_t i = begin; i < end; ++i) {
-      bfs_distances_into(g, sources[i], scratch, out.subspan(i * n, n));
+      bfs_distances_into(g, sources[i], *scratch, out.subspan(i * n, n));
     }
   });
 }

@@ -74,8 +74,9 @@ bool bfs_path_into(const CsrGraph& g, std::uint32_t source, std::uint32_t target
 
 /// Batched multi-source hop distances, chunk-parallel over `sources`: row i
 /// of `out` (stride n, size sources.size() * n) receives the distances from
-/// sources[i]. Rows are computed independently with per-thread scratch, so
-/// the output is bit-identical at any thread count (DESIGN.md §2.4).
+/// sources[i]. Rows are computed independently with scratches leased from a
+/// per-call pool (no allocation outlives the call), so the output is
+/// bit-identical at any thread count (DESIGN.md §2.4, §2.6).
 void bfs_many_into(const CsrGraph& g, std::span<const std::uint32_t> sources,
                    std::span<std::uint32_t> out);
 [[nodiscard]] std::vector<std::uint32_t> bfs_many(const CsrGraph& g,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sens/support/parallel.hpp"
+#include "sens/support/scratch_pool.hpp"
 
 namespace sens {
 
@@ -85,15 +86,18 @@ std::vector<std::uint32_t> dijkstra_path(const CsrGraph& g, std::uint32_t source
 void dijkstra_many_into(const CsrGraph& g, std::span<const std::uint32_t> sources,
                         std::span<const double> arc_weights, std::span<double> out) {
   const std::size_t n = g.num_vertices();
+  // One warm scratch per participant, leased per chunk from a pool that
+  // dies with this call — chunks frequently hold a single source, so a
+  // per-chunk scratch would pay the O(n) allocation per source, and a
+  // thread_local would retain one n-sized allocation per worker thread
+  // for the process lifetime. Rows depend only on (graph, weights,
+  // source), so scratch reuse keeps the output bit-identical at any
+  // thread count (DESIGN.md §2.4, §2.6).
+  ScratchPool<DijkstraScratch> scratches;
   parallel_for_chunks(sources.size(), [&](std::size_t begin, std::size_t end) {
-    // One scratch per worker thread, not per chunk: source counts are small
-    // enough that chunks hold a single source, and a per-chunk scratch
-    // would reintroduce the per-source O(n) allocation this API removes.
-    // Rows depend only on (graph, weights, source), so scratch reuse keeps
-    // the output bit-identical at any thread count (DESIGN.md §2.4).
-    thread_local DijkstraScratch scratch;
+    const auto scratch = scratches.acquire();
     for (std::size_t i = begin; i < end; ++i) {
-      dijkstra_costs_into(g, sources[i], arc_weights, scratch, out.subspan(i * n, n));
+      dijkstra_costs_into(g, sources[i], arc_weights, *scratch, out.subspan(i * n, n));
     }
   });
 }

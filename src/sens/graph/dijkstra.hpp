@@ -204,8 +204,9 @@ bool dijkstra_path_into(const CsrGraph& g, std::uint32_t source, std::uint32_t t
 
 /// Batched multi-source costs, chunk-parallel over `sources`: row i of
 /// `out` (stride n, size sources.size() * n) receives the costs from
-/// sources[i]. Rows are computed independently with per-thread scratch, so
-/// the output is bit-identical at any thread count (DESIGN.md §2.4).
+/// sources[i]. Rows are computed independently with scratches leased from a
+/// per-call pool (no allocation outlives the call), so the output is
+/// bit-identical at any thread count (DESIGN.md §2.4, §2.6).
 void dijkstra_many_into(const CsrGraph& g, std::span<const std::uint32_t> sources,
                         std::span<const double> arc_weights, std::span<double> out);
 [[nodiscard]] std::vector<double> dijkstra_many(const CsrGraph& g,

@@ -1,0 +1,55 @@
+#include "sens/serve/landmark_oracle.hpp"
+
+#include <numeric>
+
+#include "sens/rng/rng.hpp"
+#include "sens/support/parallel.hpp"
+
+namespace sens {
+
+namespace {
+
+/// Rng stream tag of the landmark pick (one tag per consumer, rng.hpp).
+constexpr std::uint64_t kLandmarkStream = 0x1a2dULL;
+
+/// First min(L, n) entries of a seeded Fisher-Yates shuffle of [0, n):
+/// distinct by construction (no coupon-collector stall when L approaches
+/// n), deterministic in (seed, n, L).
+std::vector<std::uint32_t> pick_landmarks(std::size_t n, std::size_t want, std::uint64_t seed) {
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  if (want > n) want = n;
+  Rng rng = Rng::stream(seed, kLandmarkStream);
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.uniform_index(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(want);
+  return ids;
+}
+
+}  // namespace
+
+LandmarkOracle LandmarkOracle::build(const CsrGraph& g, std::span<const double> arc_weights,
+                                     const LandmarkOracleParams& params) {
+  LandmarkOracle oracle;
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return oracle;
+  oracle.landmarks_ = pick_landmarks(n, params.num_landmarks, params.seed);
+  const std::size_t num = oracle.landmarks_.size();
+
+  // One batched sweep: row l holds the distances from landmark l
+  // (landmark-major). Queries read all landmarks of one vertex at once, so
+  // transpose into node-major labels (each slot written exactly once —
+  // bit-identical at any thread count).
+  const std::vector<double> rows = dijkstra_many(g, oracle.landmarks_, arc_weights);
+  oracle.labels_.resize(n * num);
+  parallel_for(n, [&](std::size_t v) {
+    for (std::size_t l = 0; l < num; ++l) {
+      oracle.labels_[v * num + l] = rows[l * n + v];
+    }
+  });
+  return oracle;
+}
+
+}  // namespace sens

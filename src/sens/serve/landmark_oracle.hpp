@@ -1,0 +1,99 @@
+// Landmark (pivot) distance oracle over a weighted graph (DESIGN.md §2.6).
+//
+// Serving E17-style query loads with one Dijkstra per s-t pair wastes work:
+// the sparse overlays are built once and queried millions of times. The
+// classic landmark scheme (ALT / Goldberg-Harrelson) precomputes, for L
+// pivot vertices, the exact distance from every pivot to every vertex; the
+// triangle inequality then brackets any query distance d(s, t):
+//
+//   lower = max_l |d(l, s) - d(l, t)|      upper = min_l d(l, s) + d(l, t)
+//
+// Both bounds cost O(L) flat array reads per query. When the bracket is
+// tight enough (upper / lower within the caller's stretch budget) the serve
+// layer answers `upper` — a real path length through the best landmark —
+// without touching the graph; otherwise it falls back to exact Dijkstra
+// (sens/serve/query_engine.hpp owns that policy).
+//
+// Determinism: landmarks are drawn from the seeded rng stream, the label
+// sweep is one batched `dijkstra_many` call (bit-identical at any thread
+// count, §2.4), and `bounds` is a pure function of the labels — so every
+// oracle answer is a pure function of (graph, weights, params, query).
+//
+// Disconnected pairs are detected exactly whenever some landmark reaches one
+// endpoint but not the other (the pair then straddles two components):
+// `bounds` returns {inf, inf} and the serve layer certifies the answer
+// without a fallback Dijkstra. Landmarks reaching neither endpoint carry no
+// information and are skipped.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sens/graph/csr.hpp"
+#include "sens/graph/dijkstra.hpp"
+
+namespace sens {
+
+struct LandmarkOracleParams {
+  std::size_t num_landmarks = 16;  ///< clamped to the vertex count
+  std::uint64_t seed = 0x5eed5eed5eedULL;
+};
+
+class LandmarkOracle {
+ public:
+  /// Lower/upper bracket of d(s, t). `lower == upper` means the answer is
+  /// exact (s == t, or a disconnected pair: both bounds infinite).
+  struct Bounds {
+    double lower = 0.0;
+    double upper = kInfCost;
+  };
+
+  LandmarkOracle() = default;
+
+  /// Pick landmarks deterministically from the seeded rng stream and label
+  /// every vertex with its exact distance to each landmark (one batched
+  /// `dijkstra_many` sweep). `arc_weights` must be aligned with the arcs of
+  /// `g` (CsrGraph::arc_weights).
+  [[nodiscard]] static LandmarkOracle build(const CsrGraph& g,
+                                            std::span<const double> arc_weights,
+                                            const LandmarkOracleParams& params);
+
+  /// O(L) triangle-inequality bracket of d(s, t); see the header comment
+  /// for the disconnection contract. s == t returns {0, 0}.
+  [[nodiscard]] Bounds bounds(std::uint32_t s, std::uint32_t t) const {
+    if (s == t) return {0.0, 0.0};
+    Bounds b;
+    const std::size_t num = landmarks_.size();
+    const double* ls = labels_.data() + static_cast<std::size_t>(s) * num;
+    const double* lt = labels_.data() + static_cast<std::size_t>(t) * num;
+    for (std::size_t l = 0; l < num; ++l) {
+      const double ds = ls[l];
+      const double dt = lt[l];
+      const bool s_reached = ds < kInfCost;
+      if (s_reached != (dt < kInfCost)) return {kInfCost, kInfCost};  // two components
+      if (!s_reached) continue;  // landmark sees neither endpoint
+      const double diff = ds > dt ? ds - dt : dt - ds;
+      if (diff > b.lower) b.lower = diff;
+      const double sum = ds + dt;
+      if (sum < b.upper) b.upper = sum;
+    }
+    return b;
+  }
+
+  [[nodiscard]] std::size_t num_landmarks() const { return landmarks_.size(); }
+  [[nodiscard]] std::span<const std::uint32_t> landmarks() const { return landmarks_; }
+
+  /// Exact distance from vertex v to landmark l (label array, node-major:
+  /// all landmarks of a vertex are contiguous, so one query touches one
+  /// cache neighborhood per endpoint).
+  [[nodiscard]] double label(std::uint32_t v, std::size_t l) const {
+    return labels_[static_cast<std::size_t>(v) * landmarks_.size() + l];
+  }
+
+ private:
+  std::vector<std::uint32_t> landmarks_;  ///< pivot vertex ids, pick order
+  std::vector<double> labels_;            ///< node-major: labels_[v * L + l]
+};
+
+}  // namespace sens

@@ -14,14 +14,25 @@
 // parallel region runs its chunks inline, in chunk order, on the calling
 // worker (same chunk layout, hence the same deterministic result).
 //
+// The layer is *reentrant* (DESIGN.md §2.6): top-level calls issued
+// concurrently from distinct user threads do not serialize. Every call owns
+// its job state (chunk cursor, ticket and participant counts), the pool
+// keeps a list of jobs with unclaimed helper tickets, and idle workers claim
+// a ticket from the first such job. The submitting thread always
+// participates in its own job and never blocks on another caller's job, so
+// concurrent callers make progress even when the pool is saturated — they
+// just receive fewer helpers. Determinism is unaffected: the chunk layout is
+// a pure function of n, never of how many helpers a job happened to get.
+//
 // Design notes (DESIGN.md §2 records the full contract):
 //   * chunk layout: ceil(n / 1024) indices per chunk, a pure function of n;
 //   * the worker pool is lazy, grows to the largest helper count requested,
-//     and is shared by all top-level calls (which serialize on a run mutex);
+//     and is shared by all concurrently active top-level calls;
 //   * `set_thread_count(1)` (or a 1-core machine) short-circuits to the
 //     serial inline path — no pool, no atomics beyond the cursor.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -80,6 +91,9 @@ inline constexpr std::size_t kMaxChunks = 1024;
 
 /// One parallel call: a function pointer + untyped context (erased once per
 /// call), an atomic cursor handing out chunks, and the first exception.
+/// `tickets` / `active` are the pool's per-job bookkeeping (§2.6): helper
+/// slots not yet claimed and helpers currently inside work(). Both are
+/// guarded by the pool mutex, never touched by the job itself.
 struct ParallelJob {
   using ChunkFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
 
@@ -90,6 +104,8 @@ struct ParallelJob {
   std::atomic<std::size_t> cursor{0};
   std::exception_ptr error;
   std::mutex error_mutex;
+  unsigned tickets = 0;  ///< unclaimed helper slots (pool mutex)
+  unsigned active = 0;   ///< helpers inside work() (pool mutex)
 
   ParallelJob(ChunkFn fn, void* context, std::size_t count, std::size_t chunk_sz)
       : run_chunk(fn), ctx(context), n(count), chunk(chunk_sz) {}
@@ -117,6 +133,15 @@ struct ParallelJob {
 /// Persistent worker pool. Lazily constructed on the first parallel call
 /// that wants helpers; grows up to the largest helper count requested
 /// (bounded by kMaxPoolThreads); joined at process exit.
+///
+/// Reentrant (DESIGN.md §2.6): the pool keeps a list of concurrently active
+/// jobs instead of a single slot guarded by a run mutex. Every `run` call
+/// publishes its job with a helper-ticket budget, participates in its own
+/// job, and on return waits only for the helpers that actually claimed one
+/// of *its* tickets. Idle workers claim a ticket from the first job that
+/// still has one, so simultaneous top-level calls from distinct user
+/// threads share the pool instead of serializing, and no caller ever blocks
+/// on another caller's job.
 class WorkerPool {
  public:
   static constexpr unsigned kMaxPoolThreads = 256;
@@ -130,27 +155,29 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Execute `job` with up to `helpers` pool threads assisting the caller.
-  /// Top-level calls from distinct user threads serialize on `run_mutex_`.
+  /// Safe to call concurrently from any number of user threads.
   void run(ParallelJob& job, unsigned helpers) {
-    const std::lock_guard<std::mutex> run_lock(run_mutex_);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       ensure_workers(helpers);
       if (threads_.size() < helpers) helpers = static_cast<unsigned>(threads_.size());
-      job_ = &job;
-      pending_tickets_ = helpers;
-      active_workers_ = 0;
+      job.tickets = helpers;
+      job.active = 0;
+      jobs_.push_back(&job);
     }
     cv_.notify_all();
-    job.work();  // the caller is always a participant
+    job.work();  // the caller is always a participant in its own job
     std::unique_lock<std::mutex> lock(mutex_);
     // The caller only returns from work() once the cursor is drained, so any
     // worker that has not yet claimed its ticket would find no work anyway —
     // abandon unclaimed tickets rather than waiting for every helper to be
     // scheduled just to notice the job is done.
-    pending_tickets_ = 0;
-    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
-    job_ = nullptr;
+    job.tickets = 0;
+    done_cv_.wait(lock, [&] { return job.active == 0; });
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+    // Helpers' writes into caller-visible buffers happened before they
+    // released mutex_ (decrementing job.active under the lock), and the
+    // caller holds mutex_ here — the join is a proper happens-before edge.
   }
 
  private:
@@ -170,30 +197,36 @@ class WorkerPool {
     while (threads_.size() < helpers) threads_.emplace_back([this] { worker_loop(); });
   }
 
+  /// First job with an unclaimed helper ticket, or nullptr (requires mutex_).
+  [[nodiscard]] ParallelJob* claimable_job() {
+    for (ParallelJob* job : jobs_) {
+      if (job->tickets > 0) return job;
+    }
+    return nullptr;
+  }
+
   void worker_loop() {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-      cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && pending_tickets_ > 0); });
+      ParallelJob* job = nullptr;
+      cv_.wait(lock, [&] { return stop_ || (job = claimable_job()) != nullptr; });
       if (stop_) return;
-      --pending_tickets_;
-      ++active_workers_;
-      ParallelJob* job = job_;
+      --job->tickets;
+      ++job->active;
       lock.unlock();
       job->work();
       lock.lock();
-      --active_workers_;
-      if (pending_tickets_ == 0 && active_workers_ == 0) done_cv_.notify_one();
+      --job->active;
+      // notify_all: several callers may be waiting, each on its own job.
+      if (job->tickets == 0 && job->active == 0) done_cv_.notify_all();
     }
   }
 
-  std::mutex run_mutex_;  ///< serializes top-level parallel calls
-  std::mutex mutex_;      ///< guards all state below
+  std::mutex mutex_;  ///< guards all state below + per-job tickets/active
   std::condition_variable cv_;
   std::condition_variable done_cv_;
   std::vector<std::thread> threads_;
-  ParallelJob* job_ = nullptr;
-  unsigned pending_tickets_ = 0;  ///< helper slots not yet claimed
-  unsigned active_workers_ = 0;   ///< helpers currently inside work()
+  std::vector<ParallelJob*> jobs_;  ///< concurrently active top-level calls
   bool stop_ = false;
 };
 

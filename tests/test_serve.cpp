@@ -1,0 +1,374 @@
+// Tests for sens/serve: the landmark distance oracle, the batched
+// QueryEngine (exact, estimated and route serving), and the §2.6 serving
+// contract — one shared engine, many concurrent callers, bit-identical
+// answers. The ServeConcurrency suite is the TSan-backed `concurrency`
+// ctest tier together with ParallelReentrancy in test_support.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "sens/core/sens_router.hpp"
+#include "sens/core/udg_sens.hpp"
+#include "sens/graph/bfs.hpp"
+#include "sens/graph/csr.hpp"
+#include "sens/graph/dijkstra.hpp"
+#include "sens/rng/rng.hpp"
+#include "sens/serve/landmark_oracle.hpp"
+#include "sens/serve/query_engine.hpp"
+#include "sens/support/parallel.hpp"
+
+namespace sens {
+namespace {
+
+/// Deterministic symmetric weight for edge {u, v} — irregular enough that
+/// shortest paths are not hop counts.
+double edge_weight(std::uint32_t u, std::uint32_t v) {
+  const std::uint32_t lo = std::min(u, v);
+  const std::uint32_t hi = std::max(u, v);
+  return 1.0 + static_cast<double>((lo * 2654435761u + hi * 40503u) % 97) / 97.0;
+}
+
+struct TestGraph {
+  CsrGraph graph;
+  std::vector<double> weights;
+};
+
+/// Random sparse graph: a Hamiltonian-ish backbone keeping one big
+/// component plus random chords, and `island` extra vertices forming a
+/// separate small component (adversarial disconnected pairs).
+TestGraph make_graph(std::size_t n, std::size_t chords, std::uint64_t seed,
+                     std::size_t island = 0) {
+  Rng rng = Rng::stream(seed, 0x57a9, 0);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  for (std::size_t c = 0; c < chords; ++c)
+    edges.emplace_back(static_cast<std::uint32_t>(rng.uniform_index(n)),
+                       static_cast<std::uint32_t>(rng.uniform_index(n)));
+  const std::size_t total = n + island;
+  for (std::uint32_t i = static_cast<std::uint32_t>(n); i + 1 < total; ++i)
+    edges.emplace_back(i, i + 1);
+  TestGraph tg;
+  tg.graph = CsrGraph::from_edges(total, std::move(edges));
+  tg.weights = tg.graph.arc_weights(edge_weight);
+  return tg;
+}
+
+/// Deterministic query batch over [0, n) vertex ids.
+std::vector<Query> make_queries(std::size_t count, std::size_t n, std::uint64_t seed) {
+  Rng rng = Rng::stream(seed, 0x57a9, 1);
+  std::vector<Query> qs(count);
+  for (auto& q : qs) {
+    q.src = static_cast<std::uint32_t>(rng.uniform_index(n));
+    q.dst = static_cast<std::uint32_t>(rng.uniform_index(n));
+  }
+  return qs;
+}
+
+TEST(ServeSmoke, ExactMatchesDijkstra) {
+  const TestGraph tg = make_graph(120, 60, 7);
+  const QueryEngine engine(tg.graph, tg.weights);
+  const auto qs = make_queries(50, tg.graph.num_vertices(), 7);
+  std::vector<double> got(qs.size());
+  engine.exact_distances(qs, got);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(got[i], dijkstra_cost(tg.graph, qs[i].src, qs[i].dst, tg.weights))
+        << "query " << i;
+  }
+}
+
+TEST(ServeOracle, BoundsBracketExactDistance) {
+  const TestGraph tg = make_graph(90, 45, 11);
+  const LandmarkOracle oracle =
+      LandmarkOracle::build(tg.graph, tg.weights, {.num_landmarks = 8, .seed = 11});
+  DijkstraScratch scratch;
+  const std::size_t n = tg.graph.num_vertices();
+  for (std::uint32_t s = 0; s < n; s += 7) {
+    for (std::uint32_t t = 0; t < n; t += 5) {
+      const double exact = dijkstra_cost(tg.graph, s, t, tg.weights, scratch);
+      const LandmarkOracle::Bounds b = oracle.bounds(s, t);
+      // FP tolerance: the label sums/differences and the Dijkstra
+      // accumulation round differently.
+      const double eps = 1e-9 * (1.0 + std::abs(exact));
+      EXPECT_LE(b.lower, exact + eps) << s << "->" << t;
+      if (exact < kInfCost) {
+        EXPECT_GE(b.upper + eps, exact) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(ServeOracle, LandmarksClampedAndDistinct) {
+  const TestGraph tg = make_graph(20, 10, 3);
+  // k >= n: every vertex becomes a landmark, exactly once.
+  const LandmarkOracle oracle =
+      LandmarkOracle::build(tg.graph, tg.weights, {.num_landmarks = 500, .seed = 3});
+  EXPECT_EQ(oracle.num_landmarks(), tg.graph.num_vertices());
+  std::vector<std::uint32_t> ids(oracle.landmarks().begin(), oracle.landmarks().end());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  // With every vertex a landmark, the bracket collapses to the exact
+  // distance for every pair (landmark == s gives |0 - d| = d both ways).
+  DijkstraScratch scratch;
+  for (std::uint32_t s = 0; s < 20; s += 3) {
+    for (std::uint32_t t = 0; t < 20; t += 4) {
+      const double exact = dijkstra_cost(tg.graph, s, t, tg.weights, scratch);
+      const LandmarkOracle::Bounds b = oracle.bounds(s, t);
+      const double eps = 1e-9 * (1.0 + std::abs(exact));
+      EXPECT_NEAR(b.lower, exact, eps);
+      EXPECT_NEAR(b.upper, exact, eps);
+    }
+  }
+}
+
+TEST(ServeOracle, ZeroLandmarksNeverCertifiesConnectedPairs) {
+  const TestGraph tg = make_graph(30, 15, 5);
+  const QueryEngine engine(tg.graph, tg.weights, {.num_landmarks = 0});
+  EXPECT_EQ(engine.oracle().num_landmarks(), 0u);
+  const auto qs = make_queries(20, 30, 5);
+  std::vector<double> est(qs.size());
+  const ServeStats stats = engine.estimate_distances(qs, est);
+  // Everything except s == t must fall back to exact Dijkstra.
+  std::vector<double> exact(qs.size());
+  engine.exact_distances(qs, exact);
+  for (std::size_t i = 0; i < qs.size(); ++i) EXPECT_EQ(est[i], exact[i]);
+  std::size_t self = 0;
+  for (const Query& q : qs) self += q.src == q.dst ? 1 : 0;
+  EXPECT_EQ(stats.certified, self);
+  EXPECT_EQ(stats.exact, qs.size() - self);
+}
+
+TEST(ServeEstimate, CertifiedWithinStretchAndStatsAddUp) {
+  const TestGraph tg = make_graph(200, 120, 17);
+  const QueryEngineParams params{.num_landmarks = 12, .max_stretch = 1.2, .seed = 17};
+  const QueryEngine engine(tg.graph, tg.weights, params);
+  const auto qs = make_queries(300, tg.graph.num_vertices(), 17);
+  std::vector<double> est(qs.size());
+  const ServeStats stats = engine.estimate_distances(qs, est);
+  EXPECT_EQ(stats.queries, qs.size());
+  EXPECT_EQ(stats.certified + stats.exact, stats.queries);
+  std::vector<double> exact(qs.size());
+  engine.exact_distances(qs, exact);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    // Every answer is exact or a certified overestimate within the budget.
+    EXPECT_GE(est[i] + 1e-9 * (1.0 + std::abs(exact[i])), exact[i]) << "query " << i;
+    if (exact[i] > 0.0 && exact[i] < kInfCost) {
+      EXPECT_LE(est[i], params.max_stretch * exact[i] * (1.0 + 1e-12)) << "query " << i;
+    } else {
+      EXPECT_EQ(est[i], exact[i]) << "query " << i;  // 0 and inf answered exactly
+    }
+  }
+}
+
+TEST(ServeEstimate, SelfAndDuplicateQueries) {
+  const TestGraph tg = make_graph(60, 30, 23);
+  const QueryEngine engine(tg.graph, tg.weights, {.num_landmarks = 6, .seed = 23});
+  // Duplicates (including self queries) must produce bit-identical slots.
+  const std::vector<Query> qs = {{5, 40}, {5, 40}, {12, 12}, {5, 40}, {12, 12}, {0, 59}, {0, 59}};
+  std::vector<double> est(qs.size());
+  const ServeStats stats = engine.estimate_distances(qs, est);
+  EXPECT_EQ(stats.queries, qs.size());
+  EXPECT_EQ(est[0], est[1]);
+  EXPECT_EQ(est[1], est[3]);
+  EXPECT_EQ(est[2], 0.0);
+  EXPECT_EQ(est[4], 0.0);
+  EXPECT_EQ(est[5], est[6]);
+}
+
+TEST(ServeEstimate, DisconnectedPairsCertifiedInfinite) {
+  // 80-vertex giant + 8-vertex island: cross-component queries must come
+  // back infinite, and (with at least one landmark in either component)
+  // certified without a fallback Dijkstra.
+  const TestGraph tg = make_graph(80, 40, 29, 8);
+  const QueryEngine engine(tg.graph, tg.weights, {.num_landmarks = 88, .seed = 29});
+  const std::vector<Query> qs = {{0, 85}, {85, 0}, {79, 80}, {82, 3}};
+  std::vector<double> est(qs.size());
+  const ServeStats stats = engine.estimate_distances(qs, est);
+  for (std::size_t i = 0; i < qs.size(); ++i) EXPECT_EQ(est[i], kInfCost) << "query " << i;
+  EXPECT_EQ(stats.certified, qs.size());
+  EXPECT_EQ(stats.exact, 0u);
+}
+
+TEST(ServeRoutes, PathsValidAndCostMatchesDistance) {
+  const TestGraph tg = make_graph(150, 80, 31, 6);
+  const QueryEngine engine(tg.graph, tg.weights);
+  auto qs = make_queries(60, tg.graph.num_vertices(), 31);
+  qs.push_back({10, 10});     // self: single-vertex path
+  qs.push_back({0, 152});     // disconnected: empty path
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> nodes;
+  engine.routes(qs, offsets, nodes);
+  ASSERT_EQ(offsets.size(), qs.size() + 1);
+  EXPECT_EQ(offsets.back(), nodes.size());
+  std::vector<double> exact(qs.size());
+  engine.exact_distances(qs, exact);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto path = std::span<const std::uint32_t>(nodes).subspan(
+        offsets[i], offsets[i + 1] - offsets[i]);
+    if (exact[i] >= kInfCost) {
+      EXPECT_TRUE(path.empty()) << "query " << i;
+      continue;
+    }
+    ASSERT_FALSE(path.empty()) << "query " << i;
+    EXPECT_EQ(path.front(), qs[i].src);
+    EXPECT_EQ(path.back(), qs[i].dst);
+    double cost = 0.0;
+    for (std::size_t j = 1; j < path.size(); ++j) {
+      ASSERT_TRUE(tg.graph.has_edge(path[j - 1], path[j])) << "query " << i;
+      cost += edge_weight(path[j - 1], path[j]);
+    }
+    // Same additions in the same order as the Dijkstra relaxation chain.
+    EXPECT_EQ(cost, exact[i]) << "query " << i;
+  }
+}
+
+TEST(ServeHops, MatchesBfs) {
+  const TestGraph tg = make_graph(100, 50, 37, 5);
+  const QueryEngine engine(tg.graph, tg.weights);
+  const auto qs = make_queries(80, tg.graph.num_vertices(), 37);
+  std::vector<std::uint32_t> hops(qs.size());
+  engine.hop_distances(qs, hops);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(hops[i], bfs_distance(tg.graph, qs[i].src, qs[i].dst)) << "query " << i;
+  }
+}
+
+TEST(ServeSingleQuery, MatchesBatchBitExact) {
+  const TestGraph tg = make_graph(120, 70, 41);
+  const QueryEngine engine(tg.graph, tg.weights, {.num_landmarks = 10, .seed = 41});
+  const auto qs = make_queries(100, tg.graph.num_vertices(), 41);
+  std::vector<double> batch(qs.size());
+  const ServeStats batch_stats = engine.estimate_distances(qs, batch);
+  RouteScratch scratch;
+  ServeStats single_stats;
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(engine.estimate_distance(qs[i], scratch, single_stats), batch[i]) << "query " << i;
+  }
+  EXPECT_EQ(single_stats.queries, batch_stats.queries);
+  EXPECT_EQ(single_stats.certified, batch_stats.certified);
+  EXPECT_EQ(single_stats.exact, batch_stats.exact);
+}
+
+// --- the §2.6 serving contract under real concurrency (TSan tier) ---
+
+TEST(ServeConcurrency, ConcurrentCallersMatchSingleThreadBitExact) {
+  const TestGraph tg = make_graph(400, 250, 43, 10);
+  const QueryEngine engine(tg.graph, tg.weights, {.num_landmarks = 12, .seed = 43});
+  const auto qs = make_queries(2000, tg.graph.num_vertices(), 43);
+
+  // Reference: one caller, serial worker pool.
+  set_thread_count(1);
+  std::vector<double> ref_exact(qs.size());
+  std::vector<double> ref_est(qs.size());
+  engine.exact_distances(qs, ref_exact);
+  const ServeStats ref_stats = engine.estimate_distances(qs, ref_est);
+
+  // 4 caller threads share the engine, each slicing a disjoint quarter of
+  // the batch, with the pool's helpers active underneath (reentrant runs).
+  set_thread_count(4);
+  constexpr std::size_t kCallers = 4;
+  std::vector<double> got_exact(qs.size());
+  std::vector<double> got_est(qs.size());
+  std::vector<ServeStats> got_stats(kCallers);
+  {
+    std::vector<std::thread> callers;
+    const std::size_t slice = qs.size() / kCallers;
+    for (std::size_t c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&, c] {
+        const std::size_t begin = c * slice;
+        const std::size_t count = c + 1 == kCallers ? qs.size() - begin : slice;
+        const auto sub = std::span<const Query>(qs).subspan(begin, count);
+        engine.exact_distances(sub, std::span<double>(got_exact).subspan(begin, count));
+        got_stats[c] =
+            engine.estimate_distances(sub, std::span<double>(got_est).subspan(begin, count));
+      });
+    }
+    for (auto& t : callers) t.join();
+  }
+  set_thread_count(0);
+
+  EXPECT_EQ(0, std::memcmp(ref_exact.data(), got_exact.data(), qs.size() * sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(ref_est.data(), got_est.data(), qs.size() * sizeof(double)));
+  ServeStats total;
+  for (const ServeStats& s : got_stats) total += s;
+  EXPECT_EQ(total.queries, ref_stats.queries);
+  EXPECT_EQ(total.certified, ref_stats.certified);
+  EXPECT_EQ(total.exact, ref_stats.exact);
+}
+
+TEST(ServeConcurrency, ConcurrentRouteServingBitExact) {
+  const TestGraph tg = make_graph(300, 160, 47, 7);
+  const QueryEngine engine(tg.graph, tg.weights);
+  const auto qs = make_queries(400, tg.graph.num_vertices(), 47);
+
+  set_thread_count(1);
+  std::vector<std::uint32_t> ref_offsets;
+  std::vector<std::uint32_t> ref_nodes;
+  engine.routes(qs, ref_offsets, ref_nodes);
+
+  // Every caller runs the identical whole batch into its own buffers.
+  set_thread_count(4);
+  constexpr std::size_t kCallers = 3;
+  std::vector<std::vector<std::uint32_t>> offsets(kCallers);
+  std::vector<std::vector<std::uint32_t>> nodes(kCallers);
+  {
+    std::vector<std::thread> callers;
+    for (std::size_t c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&, c] { engine.routes(qs, offsets[c], nodes[c]); });
+    }
+    for (auto& t : callers) t.join();
+  }
+  set_thread_count(0);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(offsets[c], ref_offsets) << "caller " << c;
+    EXPECT_EQ(nodes[c], ref_nodes) << "caller " << c;
+  }
+}
+
+TEST(ServeConcurrency, SharedSensRouterBatchMatchesSequential) {
+  // A real overlay: the immutable SensRouter is shared by route_batch
+  // (leased scratches) and compared with one-at-a-time caller-scratch runs.
+  const UdgSensResult r = build_udg_sens(UdgTileSpec::strict(), 25.0, 10, 10, 51);
+  const SensRouter router(r.overlay);
+  const auto reps = r.overlay.giant_rep_sites();
+  ASSERT_GE(reps.size(), 2u);
+  Rng pick = Rng::stream(51, 0x5e12e);
+  std::vector<std::pair<Site, Site>> pairs(64);
+  for (auto& p : pairs) {
+    p.first = reps[pick.uniform_index(reps.size())];
+    p.second = reps[pick.uniform_index(reps.size())];
+  }
+
+  SensRouteScratch scratch;
+  std::vector<SensRoute> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) expected.push_back(router.route(a, b, scratch));
+
+  set_thread_count(4);
+  constexpr std::size_t kCallers = 3;
+  std::vector<std::vector<SensRoute>> got(kCallers);
+  {
+    std::vector<std::thread> callers;
+    for (std::size_t c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&, c] { got[c] = route_batch(router, pairs); });
+    }
+    for (auto& t : callers) t.join();
+  }
+  set_thread_count(0);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    ASSERT_EQ(got[c].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[c][i].success, expected[i].success) << c << "/" << i;
+      EXPECT_EQ(got[c][i].node_path, expected[i].node_path) << c << "/" << i;
+      EXPECT_EQ(got[c][i].probes, expected[i].probes) << c << "/" << i;
+      EXPECT_EQ(got[c][i].euclid_length, expected[i].euclid_length) << c << "/" << i;
+      EXPECT_EQ(got[c][i].power2, expected[i].power2) << c << "/" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sens

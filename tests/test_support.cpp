@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sens/support/cli.hpp"
@@ -326,6 +327,108 @@ TEST(ParallelTest, ThreadCountOverrideRoundTrip) {
   EXPECT_EQ(thread_count(), 3u);
   set_thread_count(0);
   EXPECT_EQ(thread_count(), default_thread_count());
+}
+
+// --- reentrancy contract (DESIGN.md §2.6): top-level parallel calls issued
+// concurrently from distinct user threads share the pool without
+// serializing, without deadlock, and with bit-identical results. These run
+// under -fsanitize=thread in the `concurrency` ctest tier.
+
+TEST(ParallelReentrancy, ConcurrentTopLevelCallsBitIdentical) {
+  auto task = [](std::size_t i) { return std::sin(static_cast<double>(i)) * 1e-3; };
+  set_thread_count(1);
+  const double expected = parallel_sum(5000, task);
+  set_thread_count(4);
+  constexpr std::size_t kCallers = 6;
+  std::vector<double> results(kCallers, 0.0);
+  {
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (std::size_t c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&results, &task, c] {
+        // Several rounds per caller so job submissions overlap in time.
+        for (int round = 0; round < 4; ++round) results[c] = parallel_sum(5000, task);
+      });
+    }
+    for (auto& t : callers) t.join();
+  }
+  set_thread_count(0);
+  for (const double r : results) EXPECT_EQ(r, expected);  // bitwise
+}
+
+TEST(ParallelReentrancy, ConcurrentCallersWithNestedCalls) {
+  auto inner_task = [](std::size_t i) { return std::sin(static_cast<double>(i)) * 1e-3; };
+  set_thread_count(1);
+  const double expected = parallel_sum(1500, inner_task);
+  set_thread_count(4);
+  constexpr std::size_t kCallers = 4;
+  std::vector<double> results(kCallers, 0.0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      // Each caller's job itself issues nested parallel calls: the nested
+      // ones must run inline on whichever thread executes the chunk.
+      std::vector<double> inner(6, 0.0);
+      parallel_for(inner.size(), [&](std::size_t i) { inner[i] = parallel_sum(1500, inner_task); });
+      results[c] = inner[0];
+      for (const double v : inner) EXPECT_EQ(v, inner[0]);
+    });
+  }
+  for (auto& t : callers) t.join();
+  set_thread_count(0);
+  for (const double r : results) EXPECT_EQ(r, expected);
+}
+
+TEST(ParallelReentrancy, ExceptionInOneCallerLeavesOthersAndPoolIntact) {
+  set_thread_count(4);
+  std::atomic<int> ok_callers{0};
+  std::atomic<int> caught{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      if (c == 0) {
+        try {
+          parallel_for(20000, [](std::size_t i) {
+            if (i % 11 == 5) throw std::runtime_error("caller 0 boom");
+          });
+        } catch (const std::runtime_error&) {
+          caught.fetch_add(1);
+        }
+      } else {
+        const double sum = parallel_sum(20000, [](std::size_t) { return 1.0; });
+        if (sum == 20000.0) ok_callers.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  set_thread_count(0);
+  EXPECT_EQ(caught.load(), 1);
+  EXPECT_EQ(ok_callers.load(), 3);
+  // The pool must stay usable after the exceptional job retired.
+  EXPECT_DOUBLE_EQ(parallel_sum(10, [](std::size_t) { return 1.0; }), 10.0);
+}
+
+TEST(ParallelReentrancy, ManyCallersManyRoundsNoDeadlock) {
+  // Saturate the pool: more caller threads than helpers, many short jobs.
+  // Every caller participates in its own job, so all must finish even when
+  // no helper ever picks their tickets up.
+  set_thread_count(3);
+  constexpr std::size_t kCallers = 8;
+  std::atomic<std::size_t> completed{0};
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 16; ++round) {
+        std::atomic<std::size_t> hits{0};
+        parallel_for(2048, [&](std::size_t) { hits.fetch_add(1, std::memory_order_relaxed); });
+        if (hits.load() == 2048) completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  set_thread_count(0);
+  EXPECT_EQ(completed.load(), kCallers * 16);
 }
 
 TEST(TimerTest, MeasuresSomething) {
