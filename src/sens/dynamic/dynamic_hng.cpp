@@ -1,0 +1,350 @@
+#include "sens/dynamic/dynamic_hng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sens {
+
+namespace {
+
+void sorted_insert(std::vector<std::uint32_t>& v, std::uint32_t x) {
+  v.insert(std::lower_bound(v.begin(), v.end(), x), x);
+}
+
+/// Caller guarantees membership.
+void sorted_erase(std::vector<std::uint32_t>& v, std::uint32_t x) {
+  v.erase(std::lower_bound(v.begin(), v.end(), x));
+}
+
+bool sorted_contains(const std::vector<std::uint32_t>& v, std::uint32_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+DynamicHng::DynamicHng(const HngParams& params, std::uint64_t seed)
+    : params_(params),
+      seed_(seed),
+      level_count_(static_cast<std::size_t>(params.max_level) + 1, 0),
+      pyramid_(std::span<const Vec2>{}, std::span<const GridKnnPyramid::LevelSpec>{}) {
+  validate_hng_params(params_);
+}
+
+DynamicHng::DynamicHng(std::span<const Vec2> points, const HngParams& params, std::uint64_t seed)
+    : DynamicHng(params, seed) {
+  points_.reserve(points.size());
+  for (const Vec2 p : points) insert(p);
+}
+
+double DynamicHng::dist2(std::uint32_t a, std::uint32_t b) const {
+  const double dx = points_[a].x - points_[b].x;
+  const double dy = points_[a].y - points_[b].y;
+  return dx * dx + dy * dy;
+}
+
+/// First touch of a node in this event: capture its pre-event selection
+/// (the edge delta in finalize_event diffs against these).
+void DynamicHng::touch(std::uint32_t u) {
+  if (dirty_flag_[u]) return;
+  dirty_flag_[u] = 1;
+  dirty_old_.emplace_back(u, sel_[u]);
+}
+
+void DynamicHng::mark_recompute(std::uint32_t w) {
+  if (in_recompute_[w]) return;
+  in_recompute_[w] = 1;
+  recompute_.push_back(w);
+}
+
+void DynamicHng::flush_recompute() {
+  for (const std::uint32_t w : recompute_) {
+    if (alive_[w]) {
+      compute_selection(w, fresh_sel_);
+      set_selection(w, fresh_sel_);
+    }
+    in_recompute_[w] = 0;
+  }
+  recompute_.clear();
+}
+
+/// The batch linking rule for one node, against the *current* live
+/// structure: clique membership for top nodes (everyone when top < 2),
+/// otherwise a k-NN query into S_{l+1} — ids ascending.
+void DynamicHng::compute_selection(std::uint32_t u, std::vector<std::uint32_t>& out) {
+  out.clear();
+  const std::uint32_t l = level_[u];
+  if (top_ < 2) {
+    for (std::uint32_t x = 0; x < alive_.size(); ++x) {
+      if (alive_[x] && x != u) out.push_back(x);
+    }
+    return;
+  }
+  if (l == top_) {
+    for (std::uint32_t x = 0; x < alive_.size(); ++x) {
+      if (alive_[x] && x != u && level_[x] == top_) out.push_back(x);
+    }
+    return;
+  }
+  hng_link_node(pyramid_.level(l - 1), points_[u], u, params_.k, scratch_, found_);
+  out.assign(found_.begin(), found_.end());
+  std::sort(out.begin(), out.end());
+}
+
+void DynamicHng::set_selection(std::uint32_t u, const std::vector<std::uint32_t>& fresh) {
+  touch(u);
+  for (const std::uint32_t x : sel_[u]) sorted_erase(selectors_[x], u);
+  sel_[u].assign(fresh.begin(), fresh.end());
+  for (const std::uint32_t x : sel_[u]) sorted_insert(selectors_[x], u);
+}
+
+/// Join repair for a regular node w (exact level l < top, l <= L-1): u just
+/// entered its linking target S_{l+1}. The fresh k-NN set follows from the
+/// old one with no re-query: if w was under-full its old selection was all
+/// of S_{l+1}, so u is admitted; otherwise u displaces w's current worst
+/// pick iff it beats it under the exact (distance, index) query order.
+void DynamicHng::maybe_enter(std::uint32_t w, std::uint32_t u) {
+  auto& s = sel_[w];
+  if (s.size() < params_.k) {
+    touch(w);
+    sorted_insert(s, u);
+    sorted_insert(selectors_[u], w);
+    return;
+  }
+  std::uint32_t worst = s[0];
+  double worst_d2 = dist2(w, s[0]);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const double d = dist2(w, s[i]);
+    if (d > worst_d2 || (d == worst_d2 && s[i] > worst)) {
+      worst_d2 = d;
+      worst = s[i];
+    }
+  }
+  const double du = dist2(w, u);
+  if (du < worst_d2 || (du == worst_d2 && u < worst)) {
+    touch(w);
+    sorted_erase(s, worst);
+    sorted_erase(selectors_[worst], w);
+    sorted_insert(s, u);
+    sorted_insert(selectors_[u], w);
+  }
+}
+
+/// Bring slot `id` to life at point p: draw its level from stream id, index
+/// it, link it, and repair the selections it enters. `id` is either the
+/// append slot (== points_.size()) or a dead slot being revived by the
+/// swap-remove rename.
+void DynamicHng::insert_slot(std::uint32_t id, Vec2 p) {
+  if (id == points_.size()) {
+    points_.push_back(p);
+    level_.push_back(0);
+    alive_.push_back(0);
+    dirty_flag_.push_back(0);
+    in_recompute_.push_back(0);
+    sel_.emplace_back();
+    selectors_.emplace_back();
+  } else {
+    points_[id] = p;
+  }
+  if (id == pyramid_.store_size()) {
+    pyramid_.append_point(p);
+  } else {
+    pyramid_.set_point(id, p);  // vacated slot: no level indexes it now
+  }
+  alive_[id] = 1;
+  ++live_n_;
+  const std::uint32_t level = hng_promotion_level(seed_, id, params_);
+  level_[id] = level;
+  ++level_count_[level];
+
+  const std::uint32_t old_top = top_;
+  const std::uint32_t new_top = std::max(old_top, level);
+  // Pyramid level index l holds S_{l+2}: queries need indexes up to
+  // new_top - 2 (the top cohort's own linking target S_top).
+  while (pyramid_.num_levels() + 1 < new_top) pyramid_.push_level(params_.k);
+  for (std::uint32_t l = 2; l <= level; ++l) pyramid_.insert(l - 2, id);
+
+  if (live_n_ == 1) {
+    top_ = new_top;
+    touch(id);  // empty selection, but the event must record the new slot
+    return;
+  }
+
+  if (new_top > old_top) {
+    // The old top cohort loses its clique and relinks as regular nodes.
+    for (std::uint32_t w = 0; w < alive_.size(); ++w) {
+      if (alive_[w] && w != id && level_[w] == old_top) mark_recompute(w);
+    }
+    top_ = new_top;
+  } else if (level == old_top) {
+    // u joins the existing clique; members just gain u (exact — a clique
+    // selection is "everyone else up here").
+    for (std::uint32_t w = 0; w < alive_.size(); ++w) {
+      if (alive_[w] && w != id && level_[w] == old_top) {
+        touch(w);
+        sorted_insert(sel_[w], id);
+        sorted_insert(selectors_[id], w);
+      }
+    }
+  }
+
+  // Regular nodes of exact level <= L-1 see u enter their linking target.
+  // A level-1 joiner is a member of S_1 only, and linkers select from
+  // S_{l+1} with l >= 1, so nobody can select it — skip the scan outright
+  // (p = 3/4 of joins under the default promote_p).
+  if (level >= 2) {
+    for (std::uint32_t w = 0; w < alive_.size(); ++w) {
+      if (!alive_[w] || w == id || in_recompute_[w]) continue;
+      const std::uint32_t l = level_[w];
+      if (l >= top_ || l + 1 > level) continue;  // clique node / u not in S_{l+1}
+      maybe_enter(w, id);
+    }
+  }
+
+  mark_recompute(id);
+  flush_recompute();
+}
+
+/// Retire slot `r`: unindex it, relink its orphaned selectors, and handle a
+/// top-level drop (the survivors of the new highest level form a clique).
+void DynamicHng::remove_slot(std::uint32_t r) {
+  // Exactly the nodes that selected r must relink (their query target or
+  // clique lost a member). A top drop to the everyone-clique is covered
+  // too: in that regime every survivor had selected r.
+  for (const std::uint32_t w : selectors_[r]) mark_recompute(w);
+
+  alive_[r] = 0;
+  --live_n_;
+  --level_count_[level_[r]];
+  for (std::uint32_t l = 2; l <= level_[r]; ++l) pyramid_.erase(l - 2, r);
+
+  const std::uint32_t old_top = top_;
+  std::uint32_t t = old_top;
+  while (t > 0 && level_count_[t] == 0) --t;
+  top_ = t;
+
+  touch(r);
+  for (const std::uint32_t x : sel_[r]) sorted_erase(selectors_[x], r);
+  sel_[r].clear();
+
+  if (top_ != old_top && live_n_ > 0) {
+    for (std::uint32_t w = 0; w < alive_.size(); ++w) {
+      if (alive_[w] && level_[w] == top_) mark_recompute(w);
+    }
+  }
+  flush_recompute();
+}
+
+void DynamicHng::begin_event() {
+  dirty_old_.clear();
+  last_ = {};
+}
+
+/// The selection node w held when the event began: the first-touch capture
+/// for dirty nodes, the live list for everyone else (untouched == unchanged).
+/// dirty_old_ holds one handful of entries per event, so a linear scan wins
+/// over any index.
+const std::vector<std::uint32_t>& DynamicHng::pre_event_selection(std::uint32_t w) const {
+  if (dirty_flag_[w]) {
+    for (const auto& [u, old] : dirty_old_) {
+      if (u == w) return old;
+    }
+  }
+  return sel_[w];
+}
+
+/// Derive the undirected edge delta of this event from the captured
+/// pre-event selections vs the current ones. An edge {a, b} exists iff
+/// b in sel(a) or a in sel(b); only pairs incident to a node whose
+/// selection changed can have flipped. The flipped pairs feed the event
+/// stats immediately and queue in pending_ for the next overlay()
+/// materialization — the CSR itself is not touched here (a snapshot costs
+/// O(n + m) no matter how small the delta, so it is batched per read, not
+/// paid per event).
+void DynamicHng::finalize_event() {
+  touched_.clear();
+  for (const auto& [w, old] : dirty_old_) {
+    for (const std::uint32_t x : old) touched_.emplace_back(std::min(w, x), std::max(w, x));
+    for (const std::uint32_t x : sel_[w]) touched_.emplace_back(std::min(w, x), std::max(w, x));
+  }
+  std::sort(touched_.begin(), touched_.end());
+  touched_.erase(std::unique(touched_.begin(), touched_.end()), touched_.end());
+
+  last_.relinked = dirty_old_.size();
+  for (const auto& [a, b] : touched_) {
+    // Pre-event liveness is implied: a dead slot's selection is empty and
+    // it appears in no live selection, so both containment tests fail.
+    const auto& old_a = pre_event_selection(a);
+    const auto& old_b = pre_event_selection(b);
+    const bool before = sorted_contains(old_a, b) || sorted_contains(old_b, a);
+    const bool after = alive_[a] && alive_[b] &&
+                       (sorted_contains(sel_[a], b) || sorted_contains(sel_[b], a));
+    if (before != after) {
+      pending_.emplace_back(a, b);
+      ++(after ? last_.edges_added : last_.edges_removed);
+    }
+  }
+  for (const auto& [w, old] : dirty_old_) dirty_flag_[w] = 0;
+  dirty_old_.clear();
+}
+
+/// Bring the overlay cache up to date: diff every pending pair's stale
+/// membership against the live structure and apply the net delta in one
+/// apply_edge_delta call. Pairs that flipped an even number of times since
+/// the last read cancel here. Slot ids beyond either vertex range simply
+/// read as "no edge" on that side (a transient slot that appeared and
+/// vanished between reads nets to nothing).
+void DynamicHng::materialize() const {
+  const std::size_t n = points_.size();
+  if (pending_.empty() && overlay_.num_vertices() == n) return;
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()), pending_.end());
+
+  const std::size_t n_old = overlay_.num_vertices();
+  removed_.clear();
+  added_.clear();
+  for (const auto& [a, b] : pending_) {
+    const bool before = a < n_old && b < n_old && overlay_.has_edge(a, b);
+    const bool after = a < n && b < n && alive_[a] && alive_[b] &&
+                       (sorted_contains(sel_[a], b) || sorted_contains(sel_[b], a));
+    if (before && !after) {
+      removed_.emplace_back(a, b);
+    } else if (!before && after) {
+      added_.emplace_back(a, b);
+    }
+  }
+  overlay_ = CsrGraph::apply_edge_delta(overlay_, n, removed_, added_);
+  pending_.clear();
+}
+
+std::uint32_t DynamicHng::insert(Vec2 p) {
+  begin_event();
+  const auto id = static_cast<std::uint32_t>(points_.size());
+  insert_slot(id, p);
+  finalize_event();
+  return id;
+}
+
+void DynamicHng::remove(std::uint32_t i) {
+  if (i >= points_.size()) throw std::out_of_range("DynamicHng: remove of invalid slot");
+  begin_event();
+  const auto last = static_cast<std::uint32_t>(points_.size() - 1);
+  remove_slot(i);
+  if (i != last) {
+    // Swap-remove: the last slot's point rejoins as slot i, redrawing its
+    // promotion chain from stream i — levels stay a pure function of the
+    // slot id, which is the whole oracle contract.
+    const Vec2 q = points_[last];
+    remove_slot(last);
+    insert_slot(i, q);
+  }
+  finalize_event();
+  points_.pop_back();
+  level_.pop_back();
+  alive_.pop_back();
+  dirty_flag_.pop_back();
+  in_recompute_.pop_back();
+  sel_.pop_back();
+  selectors_.pop_back();
+}
+
+}  // namespace sens

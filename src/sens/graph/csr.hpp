@@ -67,6 +67,22 @@ class CsrGraph {
   /// duplicates merged; `sel` is consumed (its lists are sorted in place).
   static CsrGraph from_selections(FlatAdjacency sel);
 
+  /// The graph `g` with `removed` edges deleted, `added` edges inserted,
+  /// and the vertex count changed to `n_new` — built by per-vertex
+  /// sorted-list merges in O(n + m + |delta|): no global edge sort, no
+  /// re-sort of untouched lists. Bit-identical to rebuilding from the
+  /// updated edge set (asserted by `CsrEdgeDelta.*`); this is how
+  /// sens/dynamic maintains its overlay per churn event. Both deltas are
+  /// undirected (u, v) pairs with u < v, strictly ascending; `removed`
+  /// edges must exist in `g`, `added` edges must not (the two lists are
+  /// disjoint), and a vertex dropped by shrinking to `n_new` must have its
+  /// entire incident edge set in `removed`. Throws std::invalid_argument /
+  /// std::out_of_range on any violation.
+  static CsrGraph apply_edge_delta(
+      const CsrGraph& g, std::size_t n_new,
+      std::span<const std::pair<std::uint32_t, std::uint32_t>> removed,
+      std::span<const std::pair<std::uint32_t, std::uint32_t>> added);
+
   [[nodiscard]] std::size_t num_vertices() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }

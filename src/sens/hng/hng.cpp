@@ -20,12 +20,29 @@ constexpr std::uint64_t kHngLevelStream = 0x484e47;
 
 }  // namespace
 
-HngResult build_hng(std::span<const Vec2> points, const HngParams& params, std::uint64_t seed) {
+void validate_hng_params(const HngParams& params) {
   if (!(params.promote_p > 0.0 && params.promote_p < 1.0)) {
-    throw std::invalid_argument("build_hng: promote_p must be in (0, 1)");
+    throw std::invalid_argument("hng: promote_p must be in (0, 1)");
   }
-  if (params.k < 1) throw std::invalid_argument("build_hng: k must be >= 1");
-  if (params.max_level < 2) throw std::invalid_argument("build_hng: max_level must be >= 2");
+  if (params.k < 1) throw std::invalid_argument("hng: k must be >= 1");
+  if (params.max_level < 2) throw std::invalid_argument("hng: max_level must be >= 2");
+}
+
+std::uint32_t hng_promotion_level(std::uint64_t seed, std::uint64_t node,
+                                  const HngParams& params) {
+  Rng rng = Rng::stream(seed, kHngLevelStream, node);
+  std::uint32_t level = 1;
+  while (level < params.max_level && rng.bernoulli(params.promote_p)) ++level;
+  return level;
+}
+
+std::size_t hng_link_node(const GridKnn& upper, Vec2 p, std::uint32_t self, std::size_t k,
+                          GridKnn::QueryScratch& scratch, std::vector<std::uint32_t>& out) {
+  return upper.nearest_into(p, k, self, scratch, out);
+}
+
+HngResult build_hng(std::span<const Vec2> points, const HngParams& params, std::uint64_t seed) {
+  validate_hng_params(params);
 
   HngResult r;
   r.geo.points.assign(points.begin(), points.end());
@@ -39,10 +56,7 @@ HngResult build_hng(std::span<const Vec2> points, const HngParams& params, std::
   // schedule (DESIGN.md §2.5).
   parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t u = begin; u < end; ++u) {
-      Rng rng = Rng::stream(seed, kHngLevelStream, u);
-      std::uint32_t level = 1;
-      while (level < params.max_level && rng.bernoulli(params.promote_p)) ++level;
-      r.level[u] = level;
+      r.level[u] = hng_promotion_level(seed, u, params);
     }
   });
   r.top_level = *std::max_element(r.level.begin(), r.level.end());
@@ -102,8 +116,8 @@ HngResult build_hng(std::span<const Vec2> points, const HngParams& params, std::
         }
         continue;
       }
-      pyramid.level(l - 1).nearest_into(points[u], params.k, static_cast<std::uint32_t>(u),
-                                        scratch, found);
+      hng_link_node(pyramid.level(l - 1), points[u], static_cast<std::uint32_t>(u), params.k,
+                    scratch, found);
       std::copy(found.begin(), found.end(), slot);
     }
   };

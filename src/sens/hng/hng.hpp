@@ -25,6 +25,7 @@
 
 #include "sens/geograph/geo_graph.hpp"
 #include "sens/geometry/vec2.hpp"
+#include "sens/spatial/grid_knn.hpp"
 
 namespace sens {
 
@@ -56,5 +57,29 @@ struct HngResult {
 /// std::invalid_argument unless 0 < p < 1, k >= 1 and max_level >= 2.
 [[nodiscard]] HngResult build_hng(std::span<const Vec2> points, const HngParams& params,
                                   std::uint64_t seed);
+
+// --- per-node kernels, shared with the incremental maintainer ---
+// (sens/dynamic). `build_hng` is exactly: draw every node's level with
+// `hng_promotion_level`, then link every node with `hng_link_node` /
+// the top clique rule — so an incremental structure using the same
+// kernels agrees with the batch build bit for bit (DESIGN.md §2.7).
+
+/// Validate `params` (same rules as build_hng); throws
+/// std::invalid_argument on violation.
+void validate_hng_params(const HngParams& params);
+
+/// The promotion level of `node`: the length of the opening run of heads
+/// in its dedicated rng stream (seed, "HNG", node), capped at max_level.
+/// Pure in (seed, node, params) — a node's level never depends on when it
+/// joined, which is what makes incremental maintenance exact.
+[[nodiscard]] std::uint32_t hng_promotion_level(std::uint64_t seed, std::uint64_t node,
+                                                const HngParams& params);
+
+/// The linking kernel for a single node of exact level l < top: its
+/// min(k, |S_{l+1}|) nearest members of `upper` — which must index
+/// S_{l+1} — excluding `self`, in (distance, index) order. Returns the
+/// count written into `out`.
+std::size_t hng_link_node(const GridKnn& upper, Vec2 p, std::uint32_t self, std::size_t k,
+                          GridKnn::QueryScratch& scratch, std::vector<std::uint32_t>& out);
 
 }  // namespace sens

@@ -4,11 +4,24 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 namespace sens {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Final prune + sort shared by collect_large's exits: keep the k best
+/// under the strict (d2, idx) order, sorted.
+void finish_large(std::size_t k, std::vector<GridKnn::QueryScratch::Candidate>& cands) {
+  if (cands.size() > k) {
+    std::nth_element(cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(k) - 1,
+                     cands.end());
+    cands.resize(k);
+  }
+  std::sort(cands.begin(), cands.end());
+}
+
 }  // namespace
 
 GridKnn::GridKnn(std::span<const Vec2> points, std::size_t expected_k)
@@ -29,6 +42,12 @@ GridKnn::GridKnn(std::span<const Vec2> shared_points, std::span<const std::uint3
 /// member ids only. The search kernels never look at non-member points —
 /// they only walk `order_`.
 void GridKnn::build(std::span<const std::uint32_t> members, std::size_t expected_k) {
+  offsets_.clear();
+  order_.clear();
+  spill_.clear();
+  expected_k_ = expected_k;
+  live_ = members.size();
+  dead_ = 0;
   if (members.empty()) return;
   Vec2 hi = points_[members[0]];
   lo_ = points_[members[0]];
@@ -61,21 +80,76 @@ void GridKnn::build(std::span<const std::uint32_t> members, std::size_t expected
   }
 
   const std::size_t cells = static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
-  auto cell_of = [&](Vec2 p) {
-    const long ix =
-        std::clamp(static_cast<long>(std::floor((p.x - lo_.x) / cell_)), 0L, nx_ - 1);
-    const long iy =
-        std::clamp(static_cast<long>(std::floor((p.y - lo_.y) / cell_)), 0L, ny_ - 1);
-    return static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx_) +
-           static_cast<std::size_t>(ix);
-  };
   std::vector<std::uint32_t> counts(cells, 0);
-  for (const std::uint32_t m : members) ++counts[cell_of(points_[m])];
+  for (const std::uint32_t m : members) ++counts[cell_index(points_[m])];
   offsets_.assign(cells + 1, 0);
   for (std::size_t c = 0; c < cells; ++c) offsets_[c + 1] = offsets_[c] + counts[c];
   order_.resize(members.size());
   std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (const std::uint32_t m : members) order_[cursor[cell_of(points_[m])]++] = m;
+  for (const std::uint32_t m : members) order_[cursor[cell_index(points_[m])]++] = m;
+}
+
+std::size_t GridKnn::cell_index(Vec2 p) const {
+  const long ix = std::clamp(static_cast<long>(std::floor((p.x - lo_.x) / cell_)), 0L, nx_ - 1);
+  const long iy = std::clamp(static_cast<long>(std::floor((p.y - lo_.y) / cell_)), 0L, ny_ - 1);
+  return static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx_) +
+         static_cast<std::size_t>(ix);
+}
+
+void GridKnn::insert_member(std::uint32_t id) {
+  if (id >= points_.size()) throw std::out_of_range("GridKnn: member id out of range");
+  spill_.push_back(id);
+  ++live_;
+  maybe_compact();
+}
+
+void GridKnn::erase_member(std::uint32_t id) {
+  const auto it = std::find(spill_.begin(), spill_.end(), id);
+  if (it != spill_.end()) {
+    spill_.erase(it);
+    --live_;
+    maybe_compact();
+    return;
+  }
+  if (!offsets_.empty()) {
+    // The member's coordinates are unchanged since bucketing (contract), so
+    // its cell is recomputable and the scan is one bucket.
+    const std::size_t c = cell_index(points_[id]);
+    for (std::uint32_t t = offsets_[c]; t < offsets_[c + 1]; ++t) {
+      if (order_[t] == id) {
+        order_[t] = npos;
+        ++dead_;
+        --live_;
+        maybe_compact();
+        return;
+      }
+    }
+  }
+  throw std::invalid_argument("GridKnn: erase_member of a non-member");
+}
+
+/// Amortized O(1) per mutation: a rebuild costs O(live) and runs only once
+/// the pending (tombstone + spill) count reaches a fraction of the live
+/// set, which also bounds the per-query spill scan.
+void GridKnn::maybe_compact() {
+  const std::size_t pend = dead_ + spill_.size();
+  if (pend >= 8 && pend * 8 >= live_) compact();
+}
+
+void GridKnn::compact() {
+  const std::vector<std::uint32_t> members = live_members();
+  build(members, expected_k_);
+}
+
+std::vector<std::uint32_t> GridKnn::live_members() const {
+  std::vector<std::uint32_t> members;
+  members.reserve(live_);
+  for (const std::uint32_t id : order_) {
+    if (id != npos) members.push_back(id);
+  }
+  members.insert(members.end(), spill_.begin(), spill_.end());
+  std::sort(members.begin(), members.end());
+  return members;
 }
 
 /// Streaming path: a sorted bounded candidate array on the stack
@@ -88,11 +162,6 @@ std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
                                    QueryScratch::Candidate* best) const {
   std::size_t cnt = 0;
   double worst = kInf;
-  const long cx =
-      std::clamp(static_cast<long>(std::floor((q.x - lo_.x) / cell_)), 0L, nx_ - 1);
-  const long cy =
-      std::clamp(static_cast<long>(std::floor((q.y - lo_.y) / cell_)), 0L, ny_ - 1);
-  const long max_ring = std::max(std::max(cx, nx_ - 1 - cx), std::max(cy, ny_ - 1 - cy));
 
   auto offer = [&](std::uint32_t idx) {
     const double dx = points_[idx].x - q.x;
@@ -116,6 +185,18 @@ std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
     if (cnt == k) worst = best[k - 1].d2;
   };
 
+  // Spill entries are unbucketed (possibly outside the grid box), so they
+  // are offered exhaustively up front — the ring bound below then only has
+  // to be exact about *bucketed* points, which it is by construction.
+  for (const std::uint32_t idx : spill_) offer(idx);
+  if (offsets_.empty()) return cnt;
+
+  const long cx =
+      std::clamp(static_cast<long>(std::floor((q.x - lo_.x) / cell_)), 0L, nx_ - 1);
+  const long cy =
+      std::clamp(static_cast<long>(std::floor((q.y - lo_.y) / cell_)), 0L, ny_ - 1);
+  const long max_ring = std::max(std::max(cx, nx_ - 1 - cx), std::max(cy, ny_ - 1 - cy));
+
   /// One row of cells [xa, xb] at row y: a single contiguous bucket span.
   auto scan_row = [&](long y, long xa, long xb) {
     if (y < 0 || y >= ny_) return;
@@ -125,7 +206,9 @@ std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
     const std::size_t base = static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_);
     const std::uint32_t t0 = offsets_[base + static_cast<std::size_t>(xa)];
     const std::uint32_t t1 = offsets_[base + static_cast<std::size_t>(xb) + 1];
-    for (std::uint32_t t = t0; t < t1; ++t) offer(order_[t]);
+    for (std::uint32_t t = t0; t < t1; ++t) {
+      if (order_[t] != npos) offer(order_[t]);
+    }
   };
 
   auto scan_cell = [&](long x, long y) {
@@ -139,7 +222,9 @@ std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
     if (gx * gx + gy * gy > worst) return;
     const std::size_t c =
         static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) + static_cast<std::size_t>(x);
-    for (std::uint32_t t = offsets_[c]; t < offsets_[c + 1]; ++t) offer(order_[t]);
+    for (std::uint32_t t = offsets_[c]; t < offsets_[c + 1]; ++t) {
+      if (order_[t] != npos) offer(order_[t]);
+    }
   };
 
   // Unscanned points lie beyond the scanned square's boundary; a side the
@@ -180,6 +265,24 @@ std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
 void GridKnn::collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
                             std::vector<QueryScratch::Candidate>& cands) const {
   double worst = kInf;
+
+  auto consider = [&](std::uint32_t idx) {
+    if (idx == exclude) return;
+    const double dx = points_[idx].x - q.x;
+    const double dy = points_[idx].y - q.y;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 > worst) return;  // `>` keeps equal-distance ties in play
+    cands.push_back({d2, idx});
+  };
+
+  // Spill entries first and exhaustively (see collect_small): the ring
+  // bound below is then exact because it only has to cover bucketed points.
+  for (const std::uint32_t idx : spill_) consider(idx);
+  if (offsets_.empty()) {
+    finish_large(k, cands);
+    return;
+  }
+
   const long cx =
       std::clamp(static_cast<long>(std::floor((q.x - lo_.x) / cell_)), 0L, nx_ - 1);
   const long cy =
@@ -196,13 +299,7 @@ void GridKnn::collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
     const std::size_t c =
         static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) + static_cast<std::size_t>(x);
     for (std::uint32_t t = offsets_[c]; t < offsets_[c + 1]; ++t) {
-      const std::uint32_t idx = order_[t];
-      if (idx == exclude) continue;
-      const double dx = points_[idx].x - q.x;
-      const double dy = points_[idx].y - q.y;
-      const double d2 = dx * dx + dy * dy;
-      if (d2 > worst) continue;  // `>` keeps equal-distance ties in play
-      cands.push_back({d2, idx});
+      if (order_[t] != npos) consider(order_[t]);
     }
   };
 
@@ -242,13 +339,13 @@ void GridKnn::collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
     worst = cands[k - 1].d2;
     if (worst < dmin * dmin) break;
   }
-  std::sort(cands.begin(), cands.end());
+  finish_large(k, cands);
 }
 
 std::size_t GridKnn::nearest_into(Vec2 q, std::size_t k, std::uint32_t exclude,
                                   QueryScratch& scratch, std::vector<std::uint32_t>& out) const {
   out.clear();
-  if (order_.empty() || k == 0) return 0;  // order_ is the indexed-point set
+  if (live_ == 0 || k == 0) return 0;
   if (k <= kStreamingMaxK) {
     QueryScratch::Candidate best[kStreamingMaxK];
     const std::size_t cnt = collect_small(q, k, exclude, best);

@@ -16,6 +16,16 @@
 // second constructor indexes a *subset* of a shared point store without
 // copying coordinates — the per-level building block of `GridKnnPyramid`
 // (spatial/grid_knn_pyramid.hpp).
+//
+// Membership is mutable after construction (`insert_member` /
+// `erase_member`, the churn substrate of sens/dynamic): admissions land on
+// an unbucketed spill list that every query scans exhaustively — so a
+// point outside the built grid box can never be pruned away — and
+// retirements tombstone their bucket slot, which the scan loops skip.
+// Once tombstones + spill outgrow a fraction of the live set the grid is
+// rebuilt from the live members (ascending id). Query results are a pure
+// function of the live member set, identical to a freshly built GridKnn
+// over it (asserted by `GridKnnMutation.*` / `GridKnnPyramidMutation.*`).
 #pragma once
 
 #include <cstddef>
@@ -72,12 +82,47 @@ class GridKnn {
   std::size_t nearest_into(Vec2 q, std::size_t k, std::uint32_t exclude, QueryScratch& scratch,
                            std::vector<std::uint32_t>& out) const;
 
-  /// Number of *indexed* points (the member count for a subset view).
-  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  /// Number of *live* indexed points (the member count for a subset view;
+  /// tombstoned members do not count).
+  [[nodiscard]] std::size_t size() const { return live_; }
   [[nodiscard]] std::span<const Vec2> points() const { return points_; }
+
+  // --- mutable membership (sens/dynamic) ---
+
+  /// Admit point `id` (an index into the shared store). The coordinates of
+  /// a member must not change while it is indexed. Throws std::out_of_range
+  /// on an id outside the store; admitting an id twice is undefined.
+  void insert_member(std::uint32_t id);
+
+  /// Retire member `id`. Throws std::invalid_argument if `id` is not
+  /// currently a member.
+  void erase_member(std::uint32_t id);
+
+  /// Rebuild the bucket grid from the live member set now (ascending id) —
+  /// called automatically once tombstones + spill outgrow the live count;
+  /// public so tests can force the compaction path.
+  void compact();
+
+  /// Live member ids, ascending — the rebuild order `compact` uses.
+  [[nodiscard]] std::vector<std::uint32_t> live_members() const;
+
+  /// The expected query size this grid's geometry is tuned for.
+  [[nodiscard]] std::size_t expected_k() const { return expected_k_; }
+
+  /// Tombstone + spill count (observability for compaction tests).
+  [[nodiscard]] std::size_t pending() const { return dead_ + spill_.size(); }
+
+  /// Repoint the shared-store span (subset views only). The new span must
+  /// present every member id at unchanged coordinates — e.g. the owning
+  /// store grew (possibly reallocating, contents preserved). Grid geometry
+  /// and buckets depend only on member coordinates, so no rebuild is
+  /// needed. Used by `GridKnnPyramid` when its store grows.
+  void rebind(std::span<const Vec2> shared_points) { points_ = shared_points; }
 
  private:
   void build(std::span<const std::uint32_t> members, std::size_t expected_k);
+  [[nodiscard]] std::size_t cell_index(Vec2 p) const;
+  void maybe_compact();
   std::size_t collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
                             QueryScratch::Candidate* best) const;
   void collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
@@ -90,7 +135,11 @@ class GridKnn {
   long nx_ = 1;
   long ny_ = 1;
   std::vector<std::uint32_t> offsets_;  // nx*ny + 1
-  std::vector<std::uint32_t> order_;    // indexed point ids grouped by cell
+  std::vector<std::uint32_t> order_;    // indexed point ids grouped by cell (npos = tombstone)
+  std::vector<std::uint32_t> spill_;    // admitted since the last (re)build, unbucketed
+  std::size_t expected_k_ = 1;
+  std::size_t live_ = 0;  // |order_| - dead_ + |spill_|
+  std::size_t dead_ = 0;  // tombstones inside order_
 
   /// Up to this k the candidate set is a sorted array maintained by
   /// insertion while streaming cells; beyond it, candidates are collected

@@ -13,12 +13,46 @@ GridKnnPyramid::GridKnnPyramid(std::span<const Vec2> points, std::span<const Lev
         throw std::out_of_range("GridKnnPyramid: member id out of range");
       }
     }
-    // store_ never reallocates after this constructor, so the subset views
-    // stay valid for the pyramid's lifetime (and across moves: the moved
-    // vector keeps its heap buffer).
+    // store_ only changes through append_point (which rebinds every level)
+    // and set_point (vacant slots only), so the subset views stay valid for
+    // the pyramid's lifetime (and across moves: the moved vector keeps its
+    // heap buffer).
     levels_.emplace_back(std::span<const Vec2>(store_), std::span<const std::uint32_t>(spec.members),
                          spec.expected_k);
   }
+}
+
+std::uint32_t GridKnnPyramid::append_point(Vec2 p) {
+  const auto id = static_cast<std::uint32_t>(store_.size());
+  store_.push_back(p);
+  // Rebind every level to the grown store: a reallocation preserves
+  // contents, and grid buckets depend only on member coordinates, so a
+  // repointed span is all the levels need.
+  const std::span<const Vec2> s(store_);
+  for (GridKnn& lvl : levels_) lvl.rebind(s);
+  return id;
+}
+
+void GridKnnPyramid::set_point(std::uint32_t id, Vec2 p) {
+  if (id >= store_.size()) throw std::out_of_range("GridKnnPyramid: point id out of range");
+  store_[id] = p;
+}
+
+void GridKnnPyramid::insert(std::size_t l, std::uint32_t id) {
+  if (l >= levels_.size()) throw std::out_of_range("GridKnnPyramid: level out of range");
+  if (id >= store_.size()) throw std::out_of_range("GridKnnPyramid: member id out of range");
+  levels_[l].insert_member(id);
+}
+
+void GridKnnPyramid::erase(std::size_t l, std::uint32_t id) {
+  if (l >= levels_.size()) throw std::out_of_range("GridKnnPyramid: level out of range");
+  if (id >= store_.size()) throw std::out_of_range("GridKnnPyramid: member id out of range");
+  levels_[l].erase_member(id);
+}
+
+void GridKnnPyramid::push_level(std::size_t expected_k) {
+  levels_.emplace_back(std::span<const Vec2>(store_), std::span<const std::uint32_t>{},
+                       expected_k);
 }
 
 }  // namespace sens

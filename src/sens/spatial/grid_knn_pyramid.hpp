@@ -9,6 +9,14 @@
 // kernel unchanged. Per-level results are therefore bit-identical to a
 // fresh single-level GridKnn over the compacted subset, including the
 // (distance, index) tie-breaks (`GridKnnPyramid.LevelsMatchFreshGridKnnOracle`).
+//
+// The pyramid is mutable for the churn workload (sens/dynamic): the store
+// can grow (`append_point` — levels are *rebound*, never rebuilt, since
+// grid geometry depends only on member coordinates), vacated slots can be
+// recycled (`set_point`), levels can be appended (`push_level`), and each
+// level admits/retires members via GridKnn's spill/tombstone path — so
+// per-level query results stay a pure function of the live membership,
+// bit-identical to a fresh pyramid (`GridKnnPyramidMutation.*`).
 #pragma once
 
 #include <cstddef>
@@ -47,6 +55,27 @@ class GridKnnPyramid {
 
   /// The shared coordinate store all levels index into.
   [[nodiscard]] std::span<const Vec2> points() const { return store_; }
+  [[nodiscard]] std::size_t store_size() const { return store_.size(); }
+
+  // --- mutation (sens/dynamic) ---
+
+  /// Append a point to the shared store and return its id. Every level is
+  /// rebound to the grown store (contents are preserved across a vector
+  /// reallocation, so no grid needs rebuilding).
+  std::uint32_t append_point(Vec2 p);
+
+  /// Overwrite the coordinates of slot `id`. Precondition: `id` is not
+  /// currently a member of any level (a bucketed member's coordinates are
+  /// what locate its bucket). Throws std::out_of_range on a bad id.
+  void set_point(std::uint32_t id, Vec2 p);
+
+  /// Admit store slot `id` into level `l` / retire it. Bounds-checked;
+  /// GridKnn's membership contract applies.
+  void insert(std::size_t l, std::uint32_t id);
+  void erase(std::size_t l, std::uint32_t id);
+
+  /// Append an empty level tuned for `expected_k`-sized queries.
+  void push_level(std::size_t expected_k);
 
  private:
   std::vector<Vec2> store_;     ///< declared before levels_: grids span it

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "sens/geometry/circle.hpp"
 #include "sens/geometry/disk_family.hpp"
@@ -90,5 +91,12 @@ class NnTileSpec {
 /// baked table in nn_tile_polygons.inc and by the test that proves the baked
 /// table is bit-identical to a fresh computation.
 [[nodiscard]] std::array<ConvexPolygon, 4> compute_nn_e_polygons(double a);
+
+/// The `a` keys baked into nn_tile_polygons.inc (exact doubles, in baked
+/// order). Tests assert this set covers every `a` the suites construct
+/// repeatedly, so a new hot value fails loudly instead of silently paying
+/// the ~0.7 s polygonization in every fresh gtest process
+/// (NnTilePolygonTable.BakedTableCoversEveryTestedA).
+[[nodiscard]] std::vector<double> baked_nn_polygon_a_values();
 
 }  // namespace sens

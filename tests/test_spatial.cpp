@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "sens/geometry/vec2.hpp"
@@ -390,6 +392,157 @@ TEST(GridKnnPyramid, RejectsOutOfRangeMembers) {
   std::vector<GridKnnPyramid::LevelSpec> specs(1);
   specs[0].members = {3, 10};
   EXPECT_THROW(GridKnnPyramid(pts, specs), std::out_of_range);
+}
+
+// --- mutable membership: the churn substrate of sens/dynamic -------------
+
+/// The mutation oracle: a mutated grid must answer every query identically
+/// to a *fresh* subset view over its current live member set — spill
+/// entries, tombstones, and compactions must all be invisible.
+void expect_matches_fresh(const GridKnn& grid, std::span<const Vec2> store,
+                          std::size_t expected_k, std::uint64_t seed) {
+  const std::vector<std::uint32_t> members = grid.live_members();
+  const GridKnn fresh(store, members, expected_k);
+  ASSERT_EQ(grid.size(), members.size());
+  GridKnn::QueryScratch scratch, fresh_scratch;
+  std::vector<std::uint32_t> got, want;
+  Rng rng(seed);
+  for (int t = 0; t < 10; ++t) {
+    const Vec2 q{rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0)};
+    for (const std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{70}}) {
+      grid.nearest_into(q, k, GridKnn::npos, scratch, got);
+      fresh.nearest_into(q, k, GridKnn::npos, fresh_scratch, want);
+      EXPECT_EQ(got, want) << "k=" << k << " t=" << t;
+    }
+  }
+  for (const std::uint32_t m : members) {
+    grid.nearest_into(store[m], 4, m, scratch, got);
+    fresh.nearest_into(store[m], 4, m, fresh_scratch, want);
+    EXPECT_EQ(got, want) << "self-query of member " << m;
+  }
+}
+
+TEST(GridKnnMutation, RandomChurnMatchesFreshGrid) {
+  const auto pts = random_points(260, 77);
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t i = 0; i < pts.size(); i += 2) members.push_back(i);
+  GridKnn grid(pts, members, 4);
+  std::vector<std::uint8_t> in(pts.size(), 0);
+  for (const std::uint32_t m : members) in[m] = 1;
+  Rng rng(0x6A1D);
+  for (int op = 0; op < 300; ++op) {
+    const auto id = static_cast<std::uint32_t>(rng.uniform_index(pts.size()));
+    if (in[id]) {
+      grid.erase_member(id);
+    } else {
+      grid.insert_member(id);
+    }
+    in[id] ^= 1;
+    if (op % 25 == 24) expect_matches_fresh(grid, pts, 4, 0x6A1D + static_cast<unsigned>(op));
+  }
+  expect_matches_fresh(grid, pts, 4, 0x6A1D);
+}
+
+// A level drained to empty must answer nothing (not stale members), then
+// accept a full repopulation — the dynamic layer's top-level collapse and
+// regrowth path.
+TEST(GridKnnMutation, EmptiedThenRepopulated) {
+  const auto pts = random_points(50, 9);
+  std::vector<std::uint32_t> members{3, 11, 24, 40};
+  GridKnn grid(pts, members, 3);
+  for (const std::uint32_t m : members) grid.erase_member(m);
+  EXPECT_EQ(grid.size(), 0u);
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(grid.nearest_into({5.0, 5.0}, 3, GridKnn::npos, scratch, out), 0u);
+  for (std::uint32_t i = 0; i < pts.size(); i += 3) grid.insert_member(i);
+  expect_matches_fresh(grid, pts, 3, 0xE2E2);
+}
+
+// k >= |membership| must re-saturate exactly as membership shrinks and
+// regrows through the spill/tombstone path.
+TEST(GridKnnMutation, KAtLeastMembershipResaturates) {
+  const auto pts = random_points(30, 5);
+  std::vector<std::uint32_t> members{0, 7, 14, 21, 28};
+  GridKnn grid(pts, members, 9);
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  grid.erase_member(14);
+  grid.erase_member(0);
+  grid.insert_member(1);
+  EXPECT_EQ(grid.nearest_into({5.0, 5.0}, 9, GridKnn::npos, scratch, out), 4u);
+  std::vector<std::uint32_t> sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{1, 7, 21, 28}));
+  expect_matches_fresh(grid, pts, 9, 0x5A7);
+}
+
+// Forcing compaction must be observable only through pending(): queries
+// before and after are bit-identical to the fresh-grid oracle.
+TEST(GridKnnMutation, ForcedCompactionIsInvisible) {
+  const auto pts = random_points(120, 31);
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t i = 0; i < 60; ++i) members.push_back(i);
+  GridKnn grid(pts, members, 4);
+  for (std::uint32_t i = 0; i < 6; ++i) grid.erase_member(i * 7);
+  for (std::uint32_t i = 60; i < 66; ++i) grid.insert_member(i);
+  ASSERT_GT(grid.pending(), 0u);
+  expect_matches_fresh(grid, pts, 4, 0xC0A);
+  grid.compact();
+  EXPECT_EQ(grid.pending(), 0u);
+  expect_matches_fresh(grid, pts, 4, 0xC0B);
+}
+
+TEST(GridKnnMutation, EraseNonMemberThrowsInsertOutOfRangeThrows) {
+  const auto pts = random_points(20, 3);
+  GridKnn grid(pts, std::vector<std::uint32_t>{1, 2, 3}, 2);
+  EXPECT_THROW(grid.erase_member(5), std::invalid_argument);
+  grid.erase_member(2);
+  EXPECT_THROW(grid.erase_member(2), std::invalid_argument);
+  EXPECT_THROW(grid.insert_member(20), std::out_of_range);
+}
+
+// Pyramid mutation: grow the store, append levels, drain and repopulate a
+// level, recycle a vacated slot with new coordinates — after all of it,
+// every level must match a fresh pyramid built from the current state.
+TEST(GridKnnPyramidMutation, GrowDrainRepopulateMatchesFreshPyramid) {
+  const auto pts = random_points(40, 21);
+  std::vector<GridKnnPyramid::LevelSpec> specs(1);
+  for (std::uint32_t i = 1; i < pts.size(); i += 2) specs[0].members.push_back(i);
+  specs[0].expected_k = 3;
+  GridKnnPyramid pyramid(pts, specs);
+
+  // Store growth (with reallocation) + admissions of brand-new ids.
+  Rng rng(0x9E4);
+  for (int i = 0; i < 20; ++i) {
+    const auto id = pyramid.append_point({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+    if (i % 2 == 0) pyramid.insert(0, id);
+  }
+  pyramid.push_level(2);
+  ASSERT_EQ(pyramid.num_levels(), 2u);
+  for (const std::uint32_t id : {41u, 45u, 49u}) pyramid.insert(1, id);
+
+  // Drain level 1 to empty, then repopulate it differently.
+  for (const std::uint32_t id : {41u, 45u, 49u}) pyramid.erase(1, id);
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(pyramid.level(1).nearest_into({5.0, 5.0}, 2, GridKnn::npos, scratch, out), 0u);
+  for (const std::uint32_t id : {2u, 40u, 58u}) pyramid.insert(1, id);
+
+  // Recycle a vacated slot at new coordinates.
+  pyramid.erase(0, 1);
+  pyramid.set_point(1, {9.5, 0.25});
+  pyramid.insert(0, 1);
+
+  const std::span<const Vec2> store = pyramid.points();
+  EXPECT_EQ(store.size(), 60u);
+  const std::size_t ks[] = {3, 2};
+  for (std::size_t l = 0; l < 2; ++l) {
+    expect_matches_fresh(pyramid.level(l), store, ks[l], 0x9E5 + l);
+  }
+  EXPECT_THROW(pyramid.set_point(60, {0.0, 0.0}), std::out_of_range);
+  EXPECT_THROW(pyramid.insert(2, 0), std::out_of_range);
+  EXPECT_THROW(pyramid.erase(0, 60), std::out_of_range);
 }
 
 // Collinear points: a degenerate (zero-height) bounding box must not break

@@ -2,8 +2,10 @@
 // predicates, and the P(good) estimators behind Theorems 2.2 / 2.4.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include "sens/rng/rng.hpp"
 #include "sens/tiles/classify.hpp"
@@ -215,6 +217,29 @@ TEST(NnTilePolygonTable, BakedTableMatchesFreshComputation) {
       ASSERT_EQ(got[i].x, want[i].x) << "dir " << dir << " vertex " << i;
       ASSERT_EQ(got[i].y, want[i].y) << "dir " << dir << " vertex " << i;
     }
+  }
+}
+
+// A larger region-disk radius relaxes every disk constraint, so the relay
+// regions grow with `a`. 0.95 is served from the baked table like the other
+// hot values — construction must be instant, not a 0.7 s polygonization.
+TEST(NnSpec, ERegionGrowsWithDiskRadius) {
+  const NnTileSpec narrow(0.893, 188);
+  const NnTileSpec wide(0.95, 188);
+  EXPECT_GT(wide.e_region_area(), narrow.e_region_area());
+  EXPECT_GT(wide.c_region_area(), narrow.c_region_area());
+  EXPECT_DOUBLE_EQ(wide.side(), 9.5);
+}
+
+TEST(NnTilePolygonTable, BakedTableCoversEveryTestedA) {
+  // Every `a` the test suites construct repeatedly must be served from the
+  // baked table (exact double match — the cache keys on the literal). When
+  // this fails, add the new value to tools/gen_nn_polygons' default set and
+  // regenerate nn_tile_polygons.inc (command in the tool's header).
+  const std::vector<double> baked = baked_nn_polygon_a_values();
+  for (const double a : {0.893, 0.9, 0.95}) {
+    EXPECT_TRUE(std::find(baked.begin(), baked.end(), a) != baked.end())
+        << "a = " << a << " is constructed by tests but not baked";
   }
 }
 
