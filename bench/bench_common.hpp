@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sens/support/cli.hpp"
+#include "sens/support/mem.hpp"
 #include "sens/support/parallel.hpp"
 #include "sens/support/table.hpp"
 #include "sens/support/timer.hpp"
@@ -92,6 +93,13 @@ struct BenchEnv {
 
   void footer() {
     std::cout << "elapsed: " << Table::fmt(timer.seconds(), 3) << " s\n";
+    // Peak RSS goes to stdout only, never into the JSON document — memory
+    // (like wall clock) is machine-dependent and would break the CI
+    // byte-identity diff (DESIGN.md §2.8).
+    if (const std::uint64_t peak = peak_rss_bytes(); peak > 0) {
+      std::cout << "peak rss: " << Table::fmt(static_cast<double>(peak) / (1024.0 * 1024.0), 5)
+                << " MiB\n";
+    }
     if (!json) return;
     const std::string doc = json_document();
     if (json_path.empty()) {

@@ -5,7 +5,9 @@
 
 #include <cmath>
 #include <functional>
+#include <map>
 #include <numeric>
+#include <utility>
 
 #include "sens/core/udg_sens.hpp"
 #include "sens/geograph/knn.hpp"
@@ -18,8 +20,10 @@
 #include "sens/perc/mesh_router.hpp"
 #include "sens/spatial/grid_index.hpp"
 #include "sens/spatial/grid_knn.hpp"
+#include "sens/rng/rng.hpp"
 #include "sens/spatial/grid_knn_pyramid.hpp"
 #include "sens/spatial/kdtree.hpp"
+#include "sens/spatial/reorder.hpp"
 #include "sens/support/parallel.hpp"
 #include "sens/tiles/classify.hpp"
 #include "sens/tiles/good_prob.hpp"
@@ -172,6 +176,59 @@ void BM_KnnSelectionsFlat(benchmark::State& state) {
 }
 BENCHMARK(BM_KnnSelectionsFlat)->Arg(8)->Arg(32)->Arg(188);
 
+// Size-axis fixture for the scale tier (DESIGN.md §2.8): the UDG over a
+// Poisson deployment of ~n nodes whose store is shuffled into deployment
+// order (ids by arrival), optionally relabeled along the Hilbert curve.
+// Cached per (n, layout) so the 512k build happens once per process.
+const GeoGraph& scale_udg(std::int64_t n_target, bool hilbert) {
+  static std::map<std::pair<std::int64_t, bool>, GeoGraph> cache;
+  const auto key = std::make_pair(n_target, hilbert);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const double side = std::sqrt(static_cast<double>(n_target) / 4.0);
+    const Box w{{0.0, 0.0}, {side, side}};
+    PointSet ps = poisson_point_set_ordered(w, 4.0, 21);
+    Rng shuffle = Rng::stream(21, 0xB16, static_cast<std::uint64_t>(n_target));
+    for (std::size_t i = ps.size(); i > 1; --i) {
+      std::swap(ps.points[i - 1], ps.points[shuffle.uniform_index(i)]);
+    }
+    std::vector<Vec2> pts = std::move(ps.points);
+    if (hilbert) {
+      const auto perm = spatial_order_permutation(pts, SpatialOrder::kHilbert);
+      pts = apply_permutation(std::span<const Vec2>(pts), perm);
+    }
+    it = cache.emplace(key, build_udg(pts, w, 1.0)).first;
+  }
+  return it->second;
+}
+
+// The batched full-store k-NN workload over the size axis, Hilbert layout
+// on/off (args: n target, hilbert). Query i asks for the 8 nearest of
+// point i, so spatially coherent ids turn the ring scans into cache hits —
+// the locality dividend bench_e18 measures end to end.
+void BM_GridKnnBatch(benchmark::State& state) {
+  const GeoGraph& g = scale_udg(state.range(0), state.range(1) != 0);
+  const GridKnn index(g.points, 8);
+  GridKnn::QueryScratch scratch;
+  std::vector<std::uint32_t> found;
+  for (auto _ : state) {
+    std::size_t touched = 0;
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+      touched += index.nearest_into(g.points[i], 8, i, scratch, found);
+    }
+    benchmark::DoNotOptimize(touched);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_GridKnnBatch)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1})
+    ->Args({524288, 0})
+    ->Args({524288, 1});
+
 void BM_GridRadiusAlloc(benchmark::State& state) {
   const Box w{{0.0, 0.0}, {48.0, 48.0}};
   const PointSet ps = poisson_point_set(w, 4.0, 7);
@@ -311,12 +368,17 @@ void BM_DijkstraManySerialFn(benchmark::State& state) {
 }
 BENCHMARK(BM_DijkstraManySerialFn)->Arg(64);
 
-// Same batch through `dijkstra_many`: per-arc weights, per-thread scratch,
-// chunk-parallel over sources (bit-identical to the serial loop at any
-// thread count).
+// Same batch through `dijkstra_many` — now swept over the scale-tier size
+// axis with the Hilbert layout on/off (args: n target, hilbert; 8 fixed
+// sources, items = settled row-nodes). The 4096/deploy row is the modern
+// shape of the old 4k-fixture batch; BM_DijkstraManySerialFn above remains
+// the seed-shape contrast at that size (compare time per source).
 void BM_DijkstraMany(benchmark::State& state) {
-  const GeoGraph& g = traversal_graph();
-  const auto sources = traversal_sources(static_cast<std::size_t>(state.range(0)));
+  const GeoGraph& g = scale_udg(state.range(0), state.range(1) != 0);
+  std::vector<std::uint32_t> sources(8);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    sources[i] = static_cast<std::uint32_t>((i * 37 + 11) % g.size());
+  }
   const std::vector<double> weights = g.power_arc_weights(2.0);
   std::vector<double> out(sources.size() * g.size());
   for (auto _ : state) {
@@ -324,9 +386,16 @@ void BM_DijkstraMany(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
+                          static_cast<std::int64_t>(sources.size()) *
+                          static_cast<std::int64_t>(g.size()));
 }
-BENCHMARK(BM_DijkstraMany)->Arg(64);
+BENCHMARK(BM_DijkstraMany)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1})
+    ->Args({524288, 0})
+    ->Args({524288, 1});
 
 // Multi-source BFS batch (the E7 hop-stretch kernel shape).
 void BM_BfsMany(benchmark::State& state) {

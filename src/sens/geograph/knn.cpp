@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sens/spatial/grid_knn.hpp"
+#include "sens/support/checked.hpp"
 #include "sens/support/parallel.hpp"
 
 namespace sens {
@@ -15,6 +16,7 @@ FlatAdjacency knn_selections_flat(std::span<const Vec2> points, std::size_t k) {
   // Every vertex has exactly min(k, n - 1) out-neighbors (self excluded), so
   // the offsets are uniform and each chunk writes its own disjoint slice.
   const std::size_t deg = std::min(k, n - 1);
+  (void)checked_u32(n * deg, "knn_selections_flat: selection");  // DESIGN.md §2.8
   for (std::size_t i = 0; i < n; ++i)
     adj.offsets[i + 1] = static_cast<std::uint32_t>((i + 1) * deg);
   adj.neighbors.resize(n * deg);

@@ -27,6 +27,16 @@ struct PointSet {
 /// Sample PPP(lambda) restricted to `window` from `seed` (cell consistent).
 [[nodiscard]] PointSet poisson_point_set(Box window, double lambda, std::uint64_t seed);
 
+/// The scale-tier generation path (DESIGN.md §2.8): same point set as
+/// `poisson_point_set`, bit-for-bit and in the same grid-major order (unit
+/// cells, row-major), but produced by a two-pass count-then-fill sweep over
+/// the per-cell streams — the store is allocated exactly once at its final
+/// size (no growth reallocation, no over-reserve) and both passes run
+/// chunk-parallel over cells, each cell writing its own disjoint slice.
+/// Because every cell re-derives its stream (seed, ix, iy) independently,
+/// the result is identical at any `--threads` value and to the serial path.
+[[nodiscard]] PointSet poisson_point_set_ordered(Box window, double lambda, std::uint64_t seed);
+
 /// Points of PPP(lambda) falling in a single axis-aligned box, sampled
 /// directly (N ~ Poisson(lambda * area), uniform positions). Used by the
 /// per-tile Monte-Carlo estimators where cell consistency is irrelevant.

@@ -1,11 +1,25 @@
 #include "sens/graph/csr.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+
+#include "sens/support/checked.hpp"
 
 namespace sens {
 
 namespace {
+
+/// Vertex ids, loop counters and offsets are all std::uint32_t, so a graph
+/// must satisfy n < 2^32 and 2m <= 2^32 - 1 (arc indices). Checked at every
+/// construction entry point instead of wrapping silently (DESIGN.md §2.8).
+void check_index_width(std::size_t n, std::size_t arcs) {
+  if (n >= std::numeric_limits<std::uint32_t>::max()) {
+    throw std::overflow_error("CsrGraph: vertex count " + std::to_string(n) +
+                              " exceeds the 32-bit id space");
+  }
+  (void)checked_u32(arcs, "CsrGraph: arc");
+}
 
 /// Sort every vertex's adjacency slice in place (chunk-parallel; slices are
 /// disjoint, so the result is identical at any thread count).
@@ -57,6 +71,7 @@ void CsrGraph::build_reverse_arcs() {
 }
 
 CsrGraph CsrGraph::Builder::build(std::size_t n) && {
+  check_index_width(n, endpoints_.size());  // endpoints_.size() == 2m pre-merge
   CsrGraph g;
   g.offsets_.assign(n + 1, 0);
   for (std::size_t i = 0; i + 1 < endpoints_.size(); i += 2) {
@@ -97,6 +112,7 @@ CsrGraph CsrGraph::from_symmetric_adjacency(FlatAdjacency adj, bool lists_sorted
   if (!adj.offsets.empty() && adj.offsets.back() != adj.neighbors.size()) {
     throw std::invalid_argument("CsrGraph: offsets and neighbors disagree");
   }
+  check_index_width(adj.size(), adj.neighbors.size());
   CsrGraph g;
   g.offsets_ = std::move(adj.offsets);
   g.adjacency_ = std::move(adj.neighbors);
@@ -111,6 +127,7 @@ CsrGraph CsrGraph::from_selections(FlatAdjacency sel) {
   if (!sel.offsets.empty() && sel.offsets.back() != sel.neighbors.size()) {
     throw std::invalid_argument("CsrGraph: offsets and neighbors disagree");
   }
+  check_index_width(n, sel.neighbors.size());
   for (const std::uint32_t v : sel.neighbors) {
     if (v >= n) throw std::out_of_range("CsrGraph: vertex id out of range");
   }

@@ -37,7 +37,9 @@ class CsrGraph {
     }
     [[nodiscard]] std::size_t edges_added() const { return endpoints_.size() / 2; }
     /// Consume the accumulated edges into a graph over vertices [0, n).
-    /// Throws std::out_of_range on a vertex id >= n.
+    /// Throws std::out_of_range on a vertex id >= n, and std::overflow_error
+    /// when n or the arc count outgrows the 32-bit id space (every
+    /// construction entry point checks this — DESIGN.md §2.8).
     [[nodiscard]] CsrGraph build(std::size_t n) &&;
 
    private:

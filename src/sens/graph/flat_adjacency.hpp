@@ -11,8 +11,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "sens/support/checked.hpp"
 #include "sens/support/parallel.hpp"
 
 namespace sens {
@@ -51,15 +53,21 @@ struct FlatAdjacency {
 /// exact (n + 1 offsets, sum-of-degrees neighbors). Because every slot is
 /// written exactly once, indexed by vertex, the result is bit-identical at
 /// any thread count. `count` and `fill` must agree and be pure in i.
+/// Throws std::overflow_error when a count or the running total outgrows
+/// the 32-bit offset space (DESIGN.md §2.8) — before anything is resized.
 template <typename Count, typename Fill>
 [[nodiscard]] FlatAdjacency build_flat_adjacency(std::size_t n, Count&& count, Fill&& fill) {
   FlatAdjacency adj;
   adj.offsets.assign(n + 1, 0);
   if (n == 0) return adj;
   parallel_for(n, [&](std::size_t i) {
-    adj.offsets[i + 1] = static_cast<std::uint32_t>(count(i));
+    adj.offsets[i + 1] = checked_u32(count(i), "FlatAdjacency: per-vertex neighbor");
   });
-  for (std::size_t i = 0; i < n; ++i) adj.offsets[i + 1] += adj.offsets[i];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += adj.offsets[i + 1];
+    adj.offsets[i + 1] = checked_u32(total, "FlatAdjacency: neighbor");
+  }
   adj.neighbors.resize(adj.offsets[n]);
   parallel_for(n, [&](std::size_t i) { fill(i, adj.neighbors.data() + adj.offsets[i]); });
   return adj;

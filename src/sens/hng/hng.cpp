@@ -8,6 +8,7 @@
 #include "sens/graph/csr.hpp"
 #include "sens/rng/rng.hpp"
 #include "sens/spatial/grid_knn_pyramid.hpp"
+#include "sens/support/checked.hpp"
 #include "sens/support/parallel.hpp"
 
 namespace sens {
@@ -66,9 +67,22 @@ HngResult build_hng(std::span<const Vec2> points, const HngParams& params, std::
   // pass over the level vector, no intermediate copies. One density-tuned
   // grid per linking target, all subset views over one shared store.
   std::vector<GridKnnPyramid::LevelSpec> specs(r.top_level >= 2 ? r.top_level - 1 : 0);
-  for (std::uint32_t u = 0; u < n; ++u) {
-    for (std::uint32_t l = 2; l <= r.level[u]; ++l) {
-      specs[l - 2].members.push_back(u);
+  {
+    // Count-then-fill: a node of level l appears in S_2..S_l, so one
+    // histogram over the level vector plus a suffix sum yields every
+    // |S_l| exactly — each member list is a single allocation instead of
+    // growth-by-doubling (DESIGN.md §2.8).
+    std::vector<std::size_t> at_level(r.top_level + 1, 0);
+    for (std::uint32_t u = 0; u < n; ++u) ++at_level[r.level[u]];
+    std::size_t above = 0;
+    for (std::uint32_t l = r.top_level; l >= 2; --l) {
+      above += at_level[l];
+      specs[l - 2].members.reserve(above);
+    }
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t l = 2; l <= r.level[u]; ++l) {
+        specs[l - 2].members.push_back(u);
+      }
     }
   }
   for (auto& spec : specs) spec.expected_k = std::min(params.k, spec.members.size());
@@ -96,12 +110,14 @@ HngResult build_hng(std::span<const Vec2> points, const HngParams& params, std::
       r.top_level >= 2 ? specs[r.top_level - 2].members : everyone;
   FlatAdjacency sel;
   sel.offsets.assign(n + 1, 0);
+  std::uint64_t total = 0;
   for (std::size_t u = 0; u < n; ++u) {
     const std::uint32_t l = r.level[u];
     const std::size_t out_deg =
         l == r.top_level ? top.size() - 1
                          : std::min(params.k, static_cast<std::size_t>(r.cumulative_size[l]));
-    sel.offsets[u + 1] = sel.offsets[u] + static_cast<std::uint32_t>(out_deg);
+    total += out_deg;
+    sel.offsets[u + 1] = checked_u32(total, "hng: selection");  // DESIGN.md §2.8
   }
   sel.neighbors.resize(sel.offsets[n]);
 

@@ -42,6 +42,11 @@ GridKnn::GridKnn(std::span<const Vec2> shared_points, std::span<const std::uint3
 /// member ids only. The search kernels never look at non-member points —
 /// they only walk `order_`.
 void GridKnn::build(std::span<const std::uint32_t> members, std::size_t expected_k) {
+  // Ids are std::uint32_t with npos reserved as the tombstone marker, so the
+  // shared store must stay strictly below npos (DESIGN.md §2.8).
+  if (points_.size() >= npos) {
+    throw std::overflow_error("GridKnn: point store exceeds the 32-bit id space");
+  }
   offsets_.clear();
   order_.clear();
   spill_.clear();

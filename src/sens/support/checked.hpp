@@ -1,0 +1,29 @@
+// Checked narrowing for the 32-bit index space (DESIGN.md §2.8).
+//
+// Every graph and spatial engine in this project keys vertices, arcs and
+// bucket slots with std::uint32_t. That is the right width for the target
+// regime (10^6–10^7 nodes, ~10^8 arcs fit with room to spare) — but the
+// builders take std::size_t counts, and a silent narrowing cast would wrap
+// instead of failing once an input outgrows the id space. Every narrowing
+// on a build path goes through `checked_u32`, so the failure mode is one
+// std::overflow_error at construction, never a corrupt structure.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace sens {
+
+/// `value` as std::uint32_t; throws std::overflow_error when it does not
+/// fit. `what` names the count being narrowed (shows up in the message).
+[[nodiscard]] inline std::uint32_t checked_u32(std::size_t value, const char* what) {
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::overflow_error(std::string(what) + ": count " + std::to_string(value) +
+                              " exceeds the 32-bit index space");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace sens
