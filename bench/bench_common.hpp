@@ -91,6 +91,13 @@ struct BenchEnv {
     if (json) tables_.emplace_back(title, table);
   }
 
+  /// Queue a one-line run note for the footer — survivor counts of a
+  /// failure sweep, sweep caps, anything a human reading the run wants
+  /// next to the elapsed/RSS lines. Stdout only: footnotes never enter the
+  /// JSON document, which must stay byte-identical across machines and
+  /// --threads values (DESIGN.md §2.8).
+  void footnote(std::string line) { footnotes_.push_back(std::move(line)); }
+
   void footer() {
     std::cout << "elapsed: " << Table::fmt(timer.seconds(), 3) << " s\n";
     // Peak RSS goes to stdout only, never into the JSON document — memory
@@ -100,6 +107,7 @@ struct BenchEnv {
       std::cout << "peak rss: " << Table::fmt(static_cast<double>(peak) / (1024.0 * 1024.0), 5)
                 << " MiB\n";
     }
+    for (const std::string& line : footnotes_) std::cout << "note: " << line << "\n";
     if (!json) return;
     const std::string doc = json_document();
     if (json_path.empty()) {
@@ -154,6 +162,7 @@ struct BenchEnv {
   std::string id_;
   std::string claim_;
   std::vector<std::pair<std::string, Table>> tables_;
+  std::vector<std::string> footnotes_;
 };
 
 }  // namespace sens::bench

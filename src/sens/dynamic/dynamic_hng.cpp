@@ -313,7 +313,29 @@ void DynamicHng::materialize() const {
     }
   }
   overlay_ = CsrGraph::apply_edge_delta(overlay_, n, removed_, added_);
+  // Journal the applied call verbatim (§2.9): a subscriber replaying this
+  // entry onto its copy of the previous snapshot performs the identical
+  // apply_edge_delta and so lands on the identical CSR.
+  journal_.push_back(OverlayDelta{n, removed_, added_});
   pending_.clear();
+}
+
+const OverlayDelta& DynamicHng::overlay_delta(std::uint64_t g) const {
+  materialize();
+  if (g < journal_base_ || g - journal_base_ >= journal_.size()) {
+    throw std::out_of_range("DynamicHng: overlay_delta generation outside the journal");
+  }
+  return journal_[g - journal_base_];
+}
+
+void DynamicHng::trim_overlay_journal(std::uint64_t upto) {
+  materialize();
+  const std::uint64_t current = journal_base_ + journal_.size();
+  if (upto > current) upto = current;
+  if (upto <= journal_base_) return;
+  journal_.erase(journal_.begin(),
+                 journal_.begin() + static_cast<std::ptrdiff_t>(upto - journal_base_));
+  journal_base_ = upto;
 }
 
 std::uint32_t DynamicHng::insert(Vec2 p) {

@@ -59,6 +59,18 @@
 
 namespace sens {
 
+/// One materialized overlay edge delta (DESIGN.md §2.9): exactly the
+/// arguments the maintainer passed to `CsrGraph::apply_edge_delta`, so a
+/// subscriber holding the generation-g snapshot replays the same call and
+/// lands on the generation-(g+1) snapshot bit for bit — never a wholesale
+/// rebuild. Produced by materialize(), consumed by
+/// serve/epoch_engine.hpp's EpochQueryEngine.
+struct OverlayDelta {
+  std::size_t n_new = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> removed;  ///< sorted u < v pairs
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> added;    ///< sorted u < v pairs
+};
+
 /// Repair counters of one insert()/remove() event.
 struct DynamicHngStats {
   std::size_t relinked = 0;       ///< nodes whose selection list changed
@@ -116,6 +128,34 @@ class DynamicHng {
   /// Repair counters of the most recent insert()/remove().
   [[nodiscard]] const DynamicHngStats& last_event() const { return last_; }
 
+  // --- overlay delta journal (DESIGN.md §2.9) ---
+  //
+  // Every materialization appends the applied delta, tagged by a monotone
+  // generation: generation g's snapshot plus overlay_delta(g) equals
+  // generation g+1's snapshot. Subscribers (EpochQueryEngine) poll
+  // overlay_generation() and fold the gap; long-lived owners may
+  // trim_overlay_journal() once every subscriber has caught up —
+  // subscribers detect the gap and fall back to a full resync.
+
+  /// Generation of the current overlay (materializes pending deltas first,
+  /// like overlay()). Generation 0 is the empty structure.
+  [[nodiscard]] std::uint64_t overlay_generation() const {
+    materialize();
+    return journal_base_ + journal_.size();
+  }
+
+  /// Oldest journaled generation still replayable (>= this, < current).
+  [[nodiscard]] std::uint64_t overlay_journal_begin() const { return journal_base_; }
+
+  /// The delta from generation g's snapshot to generation g+1's. Throws
+  /// std::out_of_range outside [overlay_journal_begin(),
+  /// overlay_generation()).
+  [[nodiscard]] const OverlayDelta& overlay_delta(std::uint64_t g) const;
+
+  /// Drop journal entries below `upto` (clamped to the current
+  /// generation); replays from older snapshots then require a resync.
+  void trim_overlay_journal(std::uint64_t upto);
+
  private:
   [[nodiscard]] double dist2(std::uint32_t a, std::uint32_t b) const;
   void touch(std::uint32_t u);
@@ -158,6 +198,8 @@ class DynamicHng {
   mutable std::vector<std::pair<std::uint32_t, std::uint32_t>> pending_;
   mutable std::vector<std::pair<std::uint32_t, std::uint32_t>> removed_;
   mutable std::vector<std::pair<std::uint32_t, std::uint32_t>> added_;
+  mutable std::vector<OverlayDelta> journal_;  ///< deltas since journal_base_
+  mutable std::uint64_t journal_base_ = 0;     ///< generation of journal_[0]
 
   // Per-event scratch: first-touch capture of old selections (the edge
   // delta is derived from these), the re-query worklist, and query buffers.

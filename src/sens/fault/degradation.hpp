@@ -1,0 +1,62 @@
+// Degradation audit: what a failure scenario costs a topology
+// (DESIGN.md §2.9).
+//
+// The paper's sparse constructions trade edges for power; the audit asks
+// what that trade costs in survivability. For any embedded graph (intact
+// or post-`apply_faults`) it reports the metrics the E19 degradation
+// curves plot against failure fraction:
+//
+//   * giant fraction     — largest component size / n (connectivity mass);
+//   * coverage fraction  — fraction of unit grid cells of the deployment
+//     window holding at least one live node (the paper's coverage notion
+//     at the sensing scale; loss is computed by the caller as a delta
+//     against the intact graph);
+//   * mean length stretch — sampled well-separated connected s-t pairs,
+//     graph distance / straight-line distance (exact Dijkstra);
+//   * certified rate     — fraction of sampled queries the landmark oracle
+//     answers within its stretch budget without an exact fallback
+//     (serve/landmark_oracle.hpp), i.e. how much of the serving fast path
+//     survives the failure;
+//   * disconnected rate  — fraction of sampled queries (drawn over ALL
+//     survivors, not just the giant) with no path.
+//
+// Every number is a pure function of (graph, window, params): the pair
+// sample comes from a seeded stream, stretch sums reduce in chunk order,
+// and the oracle is the §2.6 deterministic one — so audit rows are
+// byte-stable in the E19 JSON at any --threads.
+#pragma once
+
+#include <cstdint>
+
+#include "sens/geograph/geo_graph.hpp"
+#include "sens/geometry/box.hpp"
+#include "sens/serve/landmark_oracle.hpp"
+
+namespace sens {
+
+struct DegradationParams {
+  std::size_t sample_pairs = 256;     ///< sampled s-t pairs (attempted)
+  double min_separation = 5.0;        ///< stretch pairs: straight-line floor
+  std::size_t num_landmarks = 16;
+  double max_stretch = 1.5;           ///< oracle certification budget
+  LandmarkSelection selection = LandmarkSelection::kFarthestPoint;
+  std::uint64_t seed = 0xde94ULL;
+};
+
+struct DegradationReport {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double giant_fraction = 0.0;      ///< 0 when the graph is empty
+  double coverage_fraction = 0.0;   ///< occupied unit cells / total cells
+  double mean_stretch = 0.0;        ///< 0 when no eligible pair exists
+  std::size_t stretch_pairs = 0;    ///< pairs behind mean_stretch
+  double certified_rate = 0.0;      ///< oracle-certified / sampled queries
+  double disconnected_rate = 0.0;   ///< unreachable / sampled queries
+};
+
+/// Audit `geo` deployed in `window`. Run on the intact graph and again on
+/// each `apply_faults` result; curves are the deltas/ratios across rows.
+[[nodiscard]] DegradationReport audit_degradation(const GeoGraph& geo, const Box& window,
+                                                  const DegradationParams& params);
+
+}  // namespace sens

@@ -207,7 +207,14 @@ FlatAdjacency directed_delta(std::size_t n,
     ++adj.offsets[u + 1];
     ++adj.offsets[v + 1];
   }
-  for (std::size_t v = 0; v < n; ++v) adj.offsets[v + 1] += adj.offsets[v];
+  // Checked prefix sum (§2.8): an adversarial grow delta can push the
+  // directed total past the 32-bit offset space, which must fail loudly
+  // instead of wrapping into a corrupt counting sort.
+  std::uint64_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total += adj.offsets[v + 1];
+    adj.offsets[v + 1] = checked_u32(total, "CsrGraph::apply_edge_delta delta offsets");
+  }
   adj.neighbors.resize(adj.offsets[n]);
   std::vector<std::uint32_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
   for (const auto& [u, v] : pairs) adj.neighbors[cursor[v]++] = u;
@@ -222,6 +229,12 @@ CsrGraph CsrGraph::apply_edge_delta(
     std::span<const std::pair<std::uint32_t, std::uint32_t>> removed,
     std::span<const std::pair<std::uint32_t, std::uint32_t>> added) {
   const std::size_t n_old = g.num_vertices();
+  // Entry guard (§2.8): the delta path predates the checked builders and
+  // must reject a grow delta whose result outruns the 32-bit id/arc space
+  // before any counting sort runs. Removals are validated to exist later,
+  // so the final arc count is exact when the delta is well-formed.
+  const std::size_t grown = g.num_arcs() + 2 * added.size();
+  check_index_width(n_new, grown >= 2 * removed.size() ? grown - 2 * removed.size() : 0);
   const FlatAdjacency rem = directed_delta(
       n_old, removed, "CsrGraph::apply_edge_delta: removed list not sorted (u < v) pairs");
   const FlatAdjacency add = directed_delta(

@@ -35,9 +35,24 @@
 
 namespace sens {
 
+/// How the pivot set is chosen (both deterministic in (graph, seed)):
+///  * kUniformRandom — first L entries of a seeded Fisher-Yates shuffle;
+///  * kFarthestPoint — classic max-min sweep: a pinned seeded start, then
+///    repeatedly the vertex maximizing the minimum weighted distance to
+///    the chosen set (unreached vertices count as infinitely far, so every
+///    component gets a pivot before any component gets two; ties break to
+///    the lowest id). Serial by design — L Dijkstra sweeps at build time —
+///    so the pick is identical at any --threads. Farthest pivots spread
+///    the bracket's coverage and cut the exact-fallback rate (E17/E19).
+enum class LandmarkSelection : std::uint8_t {
+  kUniformRandom = 0,
+  kFarthestPoint = 1,
+};
+
 struct LandmarkOracleParams {
   std::size_t num_landmarks = 16;  ///< clamped to the vertex count
   std::uint64_t seed = 0x5eed5eed5eedULL;
+  LandmarkSelection selection = LandmarkSelection::kUniformRandom;
 };
 
 class LandmarkOracle {
@@ -58,6 +73,13 @@ class LandmarkOracle {
   [[nodiscard]] static LandmarkOracle build(const CsrGraph& g,
                                             std::span<const double> arc_weights,
                                             const LandmarkOracleParams& params);
+
+  /// Label a caller-chosen pivot set (ids must be distinct and < n). This
+  /// is the epoch path (serve/epoch_engine.hpp): after churn the engine
+  /// keeps its surviving pivots and only re-labels, instead of re-picking.
+  [[nodiscard]] static LandmarkOracle build_with(const CsrGraph& g,
+                                                 std::span<const double> arc_weights,
+                                                 std::vector<std::uint32_t> landmarks);
 
   /// O(L) triangle-inequality bracket of d(s, t); see the header comment
   /// for the disconnection contract. s == t returns {0, 0}.

@@ -12,7 +12,8 @@ QueryEngine::QueryEngine(const CsrGraph& g, std::vector<double> arc_weights,
     : g_(&g),
       weights_(std::move(arc_weights)),
       oracle_(LandmarkOracle::build(
-          g, weights_, LandmarkOracleParams{params.num_landmarks, params.seed})),
+          g, weights_,
+          LandmarkOracleParams{params.num_landmarks, params.seed, params.selection})),
       max_stretch_(params.max_stretch) {}
 
 void QueryEngine::exact_distances(std::span<const Query> queries, std::span<double> out) const {

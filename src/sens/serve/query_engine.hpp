@@ -74,6 +74,10 @@ struct QueryEngineParams {
   /// provably overshoots the true one by at most this factor).
   double max_stretch = 1.1;
   std::uint64_t seed = 0x5eed5eed5eedULL;
+  /// Pivot-pick policy, passed through to the oracle
+  /// (serve/landmark_oracle.hpp). Farthest-point costs L extra Dijkstra
+  /// sweeps at build time and cuts the exact-fallback rate at serve time.
+  LandmarkSelection selection = LandmarkSelection::kUniformRandom;
 };
 
 class QueryEngine {

@@ -124,6 +124,69 @@ TEST(ServeOracle, LandmarksClampedAndDistinct) {
   }
 }
 
+TEST(ServeOracle, FarthestPointPicksAreDistinctAndDeterministic) {
+  const TestGraph tg = make_graph(160, 80, 11);
+  const LandmarkOracleParams params{.num_landmarks = 12,
+                                    .seed = 11,
+                                    .selection = LandmarkSelection::kFarthestPoint};
+  const LandmarkOracle a = LandmarkOracle::build(tg.graph, tg.weights, params);
+  const LandmarkOracle b = LandmarkOracle::build(tg.graph, tg.weights, params);
+  ASSERT_EQ(a.num_landmarks(), 12u);
+  EXPECT_TRUE(std::equal(a.landmarks().begin(), a.landmarks().end(), b.landmarks().begin()));
+  std::vector<std::uint32_t> ids(a.landmarks().begin(), a.landmarks().end());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  // The max-min pick is thread-count-invariant (it is serial by design).
+  set_thread_count(1);
+  const LandmarkOracle serial = LandmarkOracle::build(tg.graph, tg.weights, params);
+  set_thread_count(8);
+  const LandmarkOracle wide = LandmarkOracle::build(tg.graph, tg.weights, params);
+  set_thread_count(0);
+  EXPECT_TRUE(
+      std::equal(serial.landmarks().begin(), serial.landmarks().end(), wide.landmarks().begin()));
+}
+
+TEST(ServeOracle, FarthestPointCoversEveryComponentFirst) {
+  // 50-vertex backbone plus a 6-vertex island: unreached counts as
+  // infinitely far, so the island must receive a pivot by the second pick.
+  const TestGraph tg = make_graph(50, 20, 13, /*island=*/6);
+  const LandmarkOracle oracle = LandmarkOracle::build(
+      tg.graph, tg.weights,
+      {.num_landmarks = 2, .seed = 13, .selection = LandmarkSelection::kFarthestPoint});
+  ASSERT_EQ(oracle.num_landmarks(), 2u);
+  const auto lm = oracle.landmarks();
+  const bool first_in_island = lm[0] >= 50;
+  const bool second_in_island = lm[1] >= 50;
+  EXPECT_NE(first_in_island, second_in_island)
+      << "one pivot per component before any component gets two";
+}
+
+TEST(ServeOracle, FarthestPointCertificationIsSound) {
+  // Spread pivots keep the bracket useful (a healthy certified share on
+  // the E17-style workload — which pivot set certifies *more* is workload-
+  // and seed-dependent, so no cross-policy comparison here) and, above
+  // all, sound: a certified answer never undershoots the exact distance
+  // and never overshoots the stretch budget.
+  const TestGraph tg = make_graph(400, 240, 21);
+  const auto qs = make_queries(300, 400, 21);
+  std::vector<double> est(qs.size());
+  const QueryEngine farthest(tg.graph, tg.weights,
+                             {.num_landmarks = 16,
+                              .max_stretch = 1.2,
+                              .seed = 21,
+                              .selection = LandmarkSelection::kFarthestPoint});
+  const ServeStats sf = farthest.estimate_distances(qs, est);
+  EXPECT_GT(sf.certified, qs.size() / 20) << "the fast path barely fires";
+  std::vector<double> exact(qs.size());
+  farthest.exact_distances(qs, exact);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_GE(est[i], exact[i] - 1e-9);
+    if (est[i] < kInfCost) {
+      EXPECT_LE(est[i], 1.2 * exact[i] + 1e-9);
+    }
+  }
+}
+
 TEST(ServeOracle, ZeroLandmarksNeverCertifiesConnectedPairs) {
   const TestGraph tg = make_graph(30, 15, 5);
   const QueryEngine engine(tg.graph, tg.weights, {.num_landmarks = 0});
