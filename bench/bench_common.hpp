@@ -9,6 +9,16 @@
 //   --json [FILE]  emit the whole run as one JSON document (to FILE, or to
 //                  stdout after the markdown when no FILE is given) so CI can
 //                  diff experiment results across PRs
+//   --trace FILE   export ScopedSpan phase timings as a Chrome-trace /
+//                  Perfetto JSON timeline (load in chrome://tracing or
+//                  ui.perfetto.dev)
+//
+// Every bench footer ends with one uniform `[obs]` block (DESIGN.md §2.10):
+// elapsed wall clock, peak RSS, per-phase span totals, pool utilization, and
+// run notes — stdout only, never part of the `--json` document. The
+// deterministic *work counters* accumulated by the instrumented kernels go
+// the other way: footer() emits any nonzero registry totals as a regular
+// table, so they land in `--json` and are cmp'd across --threads by CI.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "sens/obs/obs.hpp"
 #include "sens/support/cli.hpp"
 #include "sens/support/mem.hpp"
 #include "sens/support/parallel.hpp"
@@ -59,6 +70,7 @@ struct BenchEnv {
   bool csv = false;
   bool json = false;
   std::string json_path;     ///< empty = stdout
+  std::string trace_path;    ///< empty = no Chrome-trace export
   Timer timer;
 
   static BenchEnv parse(int argc, char** argv) {
@@ -70,8 +82,12 @@ struct BenchEnv {
     env.csv = cli.has("csv");
     env.json = cli.has("json");
     if (env.json) env.json_path = cli.get("json", std::string{});
+    if (cli.has("trace")) env.trace_path = cli.get("trace", std::string{});
     const long threads = cli.get("threads", 0L);
     if (threads > 0) set_thread_count(static_cast<unsigned>(threads));
+    // Span totals always feed the [obs] footer; individual events are
+    // retained only when a --trace export will want the full timeline.
+    obs::TraceLog::global().enable(/*keep_events=*/!env.trace_path.empty());
     return env;
   }
 
@@ -99,15 +115,42 @@ struct BenchEnv {
   void footnote(std::string line) { footnotes_.push_back(std::move(line)); }
 
   void footer() {
-    std::cout << "elapsed: " << Table::fmt(timer.seconds(), 3) << " s\n";
-    // Peak RSS goes to stdout only, never into the JSON document — memory
-    // (like wall clock) is machine-dependent and would break the CI
-    // byte-identity diff (DESIGN.md §2.8).
-    if (const std::uint64_t peak = peak_rss_bytes(); peak > 0) {
-      std::cout << "peak rss: " << Table::fmt(static_cast<double>(peak) / (1024.0 * 1024.0), 5)
-                << " MiB\n";
+    // Deterministic work counters first: they are a regular table, so they
+    // enter the --json document and get byte-compared across --threads by
+    // the bench-json CI job (DESIGN.md §2.10). Timing stays out, below.
+    if (const Table counters = work_counter_table(); counters.rows() > 0) {
+      emit("work counters (deterministic, thread-invariant)", counters);
     }
-    for (const std::string& line : footnotes_) std::cout << "note: " << line << "\n";
+    // The [obs] block: every machine-dependent observable in one place,
+    // stdout only — wall clock, memory, spans, and pool scheduling would
+    // all break the CI byte-identity diff (DESIGN.md §2.8, §2.10).
+    std::cout << "[obs] elapsed: " << Table::fmt(timer.seconds(), 3) << " s\n";
+    if (const std::uint64_t peak = peak_rss_bytes(); peak > 0) {
+      std::cout << "[obs] peak rss: "
+                << Table::fmt(static_cast<double>(peak) / (1024.0 * 1024.0), 5) << " MiB\n";
+    }
+    for (const auto& span : obs::TraceLog::global().totals()) {
+      std::cout << "[obs] span " << span.name << ": "
+                << Table::fmt(static_cast<double>(span.total_ns) / 1e6, 4) << " ms (x"
+                << span.count << ")\n";
+    }
+    const PoolStats pool = pool_stats();
+    if (pool.jobs + pool.inline_calls > 0) {
+      std::cout << "[obs] pool: " << pool.jobs << " jobs, " << pool.helper_claims
+                << " helper claims, " << pool.inline_calls << " inline calls\n";
+    }
+    for (const std::string& line : footnotes_) std::cout << "[obs] note: " << line << "\n";
+    if (!trace_path.empty()) {
+      std::ofstream trace(trace_path);
+      obs::TraceLog::global().write_chrome_trace(trace);
+      trace.flush();
+      if (!trace) {
+        std::cerr << "error: could not write " << trace_path << "\n";
+        std::exit(1);
+      }
+      std::cout << "[obs] trace: wrote " << trace_path << " ("
+                << obs::TraceLog::global().event_count() << " spans)\n";
+    }
     if (!json) return;
     const std::string doc = json_document();
     if (json_path.empty()) {
@@ -125,6 +168,19 @@ struct BenchEnv {
   }
 
  private:
+  /// Nonzero obs registry totals as a (counter, value) table. Values are
+  /// exact uint64 counts rendered in full — never Table::fmt's rounded
+  /// doubles — so the CI byte-diff compares true equality.
+  [[nodiscard]] static Table work_counter_table() {
+    const obs::CounterSnapshot snap = obs::CounterRegistry::global().snapshot();
+    Table t({"counter", "value"});
+    for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+      if (snap[i] == 0) continue;
+      t.add_row({obs::counter_name(static_cast<obs::Counter>(i)), std::to_string(snap[i])});
+    }
+    return t;
+  }
+
   [[nodiscard]] std::string json_document() const {
     std::string doc = "{\"experiment\": \"" + json_escape(id_) + "\",\n";
     doc += " \"claim\": \"" + json_escape(claim_) + "\",\n";

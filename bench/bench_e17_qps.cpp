@@ -14,11 +14,14 @@
 // landmark bracket alone versus recomputed exactly; the QPS gap between
 // the two modes is the point of the serve layer (bench/BENCH_serve.json
 // records a measured run).
+#include <algorithm>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "sens/core/udg_sens.hpp"
+#include "sens/obs/obs.hpp"
 #include "sens/rng/rng.hpp"
 #include "sens/serve/query_engine.hpp"
 
@@ -52,10 +55,18 @@ std::string hex64(std::uint64_t v) {
   return out;
 }
 
+/// Each caller thread serves its slice in sub-batches this long and
+/// histograms the per-query latency of every sub-batch (one clock pair per
+/// 1024 queries — unmeasurable against the serve itself). Answers, digests
+/// and ServeStats are unaffected by the sub-batching: every query is a pure
+/// function of (engine, query).
+constexpr std::size_t kLatencySubBatch = 1024;
+
 struct RunResult {
   double qps = 0.0;
   std::uint64_t digest = 0;
   ServeStats stats;
+  std::vector<obs::LatencyHistogram> latency;  ///< one per caller thread
 };
 
 /// Serve the whole batch with `callers` threads slicing it into disjoint
@@ -64,6 +75,7 @@ RunResult run_mode(const QueryEngine& engine, std::span<const Query> qs, bool or
                    std::size_t callers) {
   std::vector<double> out(qs.size());
   std::vector<ServeStats> stats(callers);
+  std::vector<obs::LatencyHistogram> lat(callers);
   Timer timer;
   auto serve_slice = [&](std::size_t c) {
     const std::size_t slice = qs.size() / callers;
@@ -71,12 +83,20 @@ RunResult run_mode(const QueryEngine& engine, std::span<const Query> qs, bool or
     const std::size_t count = c + 1 == callers ? qs.size() - begin : slice;
     const auto sub = qs.subspan(begin, count);
     const auto dst = std::span<double>(out).subspan(begin, count);
-    if (oracle_mode) {
-      stats[c] = engine.estimate_distances(sub, dst);
-    } else {
-      engine.exact_distances(sub, dst);
-      stats[c].queries = count;
-      stats[c].exact = count;
+    for (std::size_t off = 0; off < sub.size(); off += kLatencySubBatch) {
+      const std::size_t nb = std::min(kLatencySubBatch, sub.size() - off);
+      const std::uint64_t t0 = monotonic_ns();
+      if (oracle_mode) {
+        stats[c] += engine.estimate_distances(sub.subspan(off, nb), dst.subspan(off, nb));
+      } else {
+        engine.exact_distances(sub.subspan(off, nb), dst.subspan(off, nb));
+        stats[c].queries += nb;
+        stats[c].exact += nb;
+        for (const double d : dst.subspan(off, nb)) {
+          if (d >= kInfCost) ++stats[c].disconnected;
+        }
+      }
+      lat[c].record((monotonic_ns() - t0) / nb);
     }
   };
   if (callers == 1) {
@@ -91,6 +111,7 @@ RunResult run_mode(const QueryEngine& engine, std::span<const Query> qs, bool or
   r.qps = static_cast<double>(qs.size()) / timer.seconds();
   r.digest = digest_doubles(out);
   for (const ServeStats& s : stats) r.stats += s;
+  r.latency = std::move(lat);
   return r;
 }
 
@@ -104,12 +125,20 @@ int main(int argc, char** argv) {
 
   const int tiles = env.scale > 1 ? 40 : 28;
   const double lambda = 25.0;
-  const UdgSensResult r = build_udg_sens(UdgTileSpec::strict(), lambda, tiles, tiles, env.seed);
+  const UdgSensResult r = [&] {
+    const ScopedSpan span("e17/build-overlay");
+    return build_udg_sens(UdgTileSpec::strict(), lambda, tiles, tiles, env.seed);
+  }();
   const GeoGraph& geo = r.overlay.geo;
 
   const QueryEngineParams params{.num_landmarks = 64, .max_stretch = 1.5, .seed = env.seed};
   Timer build_timer;
-  const QueryEngine engine(geo.graph, geo.length_arc_weights(), params);
+  std::optional<QueryEngine> engine_slot;
+  {
+    const ScopedSpan span("e17/build-engine");
+    engine_slot.emplace(geo.graph, geo.length_arc_weights(), params);
+  }
+  const QueryEngine& engine = *engine_slot;
   const double build_ms = build_timer.millis();
 
   // Queries between giant-component overlay nodes: cross-component pairs
@@ -140,8 +169,18 @@ int main(int argc, char** argv) {
   const std::size_t caller_counts[] = {1, 2, 8};
   RunResult exact_runs[3];
   RunResult oracle_runs[3];
-  for (std::size_t i = 0; i < 3; ++i) exact_runs[i] = run_mode(engine, qs, false, caller_counts[i]);
-  for (std::size_t i = 0; i < 3; ++i) oracle_runs[i] = run_mode(engine, qs, true, caller_counts[i]);
+  {
+    const ScopedSpan span("e17/serve-exact");
+    for (std::size_t i = 0; i < 3; ++i) {
+      exact_runs[i] = run_mode(engine, qs, false, caller_counts[i]);
+    }
+  }
+  {
+    const ScopedSpan span("e17/serve-oracle");
+    for (std::size_t i = 0; i < 3; ++i) {
+      oracle_runs[i] = run_mode(engine, qs, true, caller_counts[i]);
+    }
+  }
 
   // The §2.6 contract, enforced: every caller count must produce the same
   // bytes per mode. A mismatch is a bench failure, not a table footnote.
@@ -154,12 +193,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  Table answers({"mode", "answer digest (fnv1a)", "certified", "exact fallbacks"});
+  Table answers({"mode", "answer digest (fnv1a)", "certified", "exact fallbacks",
+                 "disconnected"});
   answers.add_row({"exact", hex64(exact_runs[0].digest), Table::fmt_int(0),
-                   Table::fmt_int(static_cast<long long>(exact_runs[0].stats.exact))});
+                   Table::fmt_int(static_cast<long long>(exact_runs[0].stats.exact)),
+                   Table::fmt_int(static_cast<long long>(exact_runs[0].stats.disconnected))});
   answers.add_row({"oracle", hex64(oracle_runs[0].digest),
                    Table::fmt_int(static_cast<long long>(oracle_runs[0].stats.certified)),
-                   Table::fmt_int(static_cast<long long>(oracle_runs[0].stats.exact))});
+                   Table::fmt_int(static_cast<long long>(oracle_runs[0].stats.exact)),
+                   Table::fmt_int(static_cast<long long>(oracle_runs[0].stats.disconnected))});
   env.emit("answers (digest identical for 1, 2 and 8 caller threads — asserted)", answers);
 
   // Wall-clock is deliberately *not* emitted: the --json document must be
@@ -177,6 +219,30 @@ int main(int argc, char** argv) {
   qps.print(std::cout);
   std::cout << "\noracle@8 / exact@1 speedup: "
             << Table::fmt(oracle_runs[2].qps / exact_runs[0].qps, 4) << "x\n\n";
+
+  // Per-caller-thread serving latency (DESIGN.md §2.10): each caller
+  // histograms the mean per-query ns of its 1024-query sub-batches, so the
+  // percentiles below are of *per-query latency* as one caller sees it.
+  // Timing observables never enter --json.
+  Table lat({"mode", "callers", "caller thread", "p50 us", "p95 us", "p99 us", "sub-batches"});
+  auto lat_rows = [&](const std::string& name, const RunResult runs[3]) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t t = 0; t < runs[i].latency.size(); ++t) {
+        const obs::LatencyHistogram& h = runs[i].latency[t];
+        lat.add_row({name, Table::fmt_int(static_cast<long long>(caller_counts[i])),
+                     Table::fmt_int(static_cast<long long>(t)),
+                     Table::fmt(static_cast<double>(h.percentile_ns(0.50)) / 1e3, 2),
+                     Table::fmt(static_cast<double>(h.percentile_ns(0.95)) / 1e3, 2),
+                     Table::fmt(static_cast<double>(h.percentile_ns(0.99)) / 1e3, 2),
+                     Table::fmt_int(static_cast<long long>(h.count()))});
+      }
+    }
+  };
+  lat_rows("exact", exact_runs);
+  lat_rows("oracle", oracle_runs);
+  std::cout << "**per-caller-thread latency percentiles (excluded from --json)**\n\n";
+  lat.print(std::cout);
+  std::cout << "\n";
   env.footer();
   return 0;
 }

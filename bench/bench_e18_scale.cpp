@@ -83,6 +83,7 @@ struct QueryRun {
 /// identical-candidate-sets, independent of relaxation order; §2.8).
 QueryRun run_queries(const GeoGraph& gg, std::span<const std::uint32_t> sources,
                      std::span<const std::uint32_t> to_this) {
+  const ScopedSpan span("e18/queries");
   const std::size_t n = gg.size();
   QueryRun run;
   Timer timer;
@@ -147,7 +148,10 @@ int main(int argc, char** argv) {
     const Box window{{0.0, 0.0}, {side, side}};
 
     Timer timer;
-    PointSet ps = poisson_point_set_ordered(window, lambda, env.seed);
+    PointSet ps = [&] {
+      const ScopedSpan span("e18/generate");
+      return poisson_point_set_ordered(window, lambda, env.seed);
+    }();
     const double gen_s = timer.seconds();
     const std::size_t n = ps.size();
 
@@ -162,10 +166,15 @@ int main(int argc, char** argv) {
     const std::vector<Vec2>& deploy = ps.points;
 
     timer.reset();
-    const std::vector<std::uint32_t> perm =
-        spatial_order_permutation(deploy, SpatialOrder::kHilbert);
-    const std::vector<std::uint32_t> inv = invert_permutation(perm);
-    const std::vector<Vec2> hilbert = apply_permutation(std::span<const Vec2>(deploy), perm);
+    std::vector<std::uint32_t> perm;
+    std::vector<std::uint32_t> inv;
+    std::vector<Vec2> hilbert;
+    {
+      const ScopedSpan span("e18/reorder");
+      perm = spatial_order_permutation(deploy, SpatialOrder::kHilbert);
+      inv = invert_permutation(perm);
+      hilbert = apply_permutation(std::span<const Vec2>(deploy), perm);
+    }
     const double perm_s = timer.seconds();
 
     gen_clock.add_row({Table::fmt_int(static_cast<long long>(n_target)),
@@ -190,20 +199,23 @@ int main(int argc, char** argv) {
     std::vector<Config> configs;
     configs.reserve(4);
 
-    timer.reset();
-    configs.push_back({"UDG", "deploy", build_udg(deploy, window, 1.0), timer.seconds(), true});
-    timer.reset();
-    configs.push_back(
-        {"UDG", "hilbert", build_udg(hilbert, window, 1.0), timer.seconds(), false});
-    timer.reset();
-    HngResult hng = build_hng(deploy, params, env.seed);
-    const double hng_build_s = timer.seconds();
-    timer.reset();
-    GeoGraph hng_relabeled = apply_permutation(hng.geo, perm);
-    const double hng_relabel_s = timer.seconds();
-    configs.push_back({"HNG", "deploy", std::move(hng.geo), hng_build_s, true});
-    configs.push_back({"HNG", "hilbert (relabel)", std::move(hng_relabeled), hng_relabel_s,
-                       false});
+    {
+      const ScopedSpan span("e18/build");
+      timer.reset();
+      configs.push_back({"UDG", "deploy", build_udg(deploy, window, 1.0), timer.seconds(), true});
+      timer.reset();
+      configs.push_back(
+          {"UDG", "hilbert", build_udg(hilbert, window, 1.0), timer.seconds(), false});
+      timer.reset();
+      HngResult hng = build_hng(deploy, params, env.seed);
+      const double hng_build_s = timer.seconds();
+      timer.reset();
+      GeoGraph hng_relabeled = apply_permutation(hng.geo, perm);
+      const double hng_relabel_s = timer.seconds();
+      configs.push_back({"HNG", "deploy", std::move(hng.geo), hng_build_s, true});
+      configs.push_back({"HNG", "hilbert (relabel)", std::move(hng_relabeled), hng_relabel_s,
+                         false});
+    }
 
     std::uint64_t deploy_bfs = 0, deploy_dij = 0;
     for (Config& cfg : configs) {

@@ -151,6 +151,7 @@ int main(int argc, char** argv) {
   step_timer.reset();
   double swept_max = 0.0;
   for (const Construction& c : graphs) {
+    const ScopedSpan span("e19/crash-sweep");
     double base_stretch = 0.0;
     for (const double f : fractions) {
       if (f > fmax + 1e-12) continue;
@@ -198,6 +199,7 @@ int main(int argc, char** argv) {
               "giant frac", "coverage", "certified rate", "disconnected rate"});
   step_timer.reset();
   for (const Construction& c : graphs) {
+    const ScopedSpan span("e19/compound");
     const FaultedGraph faulted = apply_faults(*c.geo, compound_inj);
     const DegradationReport rep = audit_degradation(faulted.geo, window, audit);
     comp.add_row({c.name, Table::fmt_int(static_cast<long long>(faulted.geo.size())),
@@ -241,7 +243,16 @@ int main(int argc, char** argv) {
                  "disconnected", "stale", "uncertified wrong"});
   std::size_t total_violations = 0;
 
-  const EpochServeStats pre = engine.serve(queries, out, verdicts);
+  auto serve_span = [&] {
+    const ScopedSpan span("e19/epoch-serve");
+    return engine.serve(queries, out, verdicts);
+  };
+  auto refresh_span = [&] {
+    const ScopedSpan span("e19/epoch-refresh");
+    return engine.refresh();
+  };
+
+  const EpochServeStats pre = serve_span();
   std::size_t bad = soundness_violations(engine, queries, out, verdicts);
   total_violations += bad;
   verdict_row(serve_t, "pre-churn", dyn.size(), pre, bad);
@@ -262,7 +273,7 @@ int main(int argc, char** argv) {
     }
   }
   step_timer.reset();
-  const EpochRefreshStats r1 = engine.refresh();
+  const EpochRefreshStats r1 = refresh_span();
   const double refresh1_ms = step_timer.millis();
   bool snap_ok = engine.graph().edge_list() == dyn.overlay().edge_list();
   refresh_t.add_row({"crash wave (30%)", Table::fmt_int(static_cast<long long>(r1.generation)),
@@ -274,7 +285,7 @@ int main(int argc, char** argv) {
     std::cerr << "error: epoch snapshot diverged from the maintainer after the crash wave\n";
     return 1;
   }
-  const EpochServeStats post = engine.serve(queries, out, verdicts);
+  const EpochServeStats post = serve_span();
   bad = soundness_violations(engine, queries, out, verdicts);
   total_violations += bad;
   verdict_row(serve_t, "post-crash (same pre-churn queries)", dyn.size(), post, bad);
@@ -287,7 +298,7 @@ int main(int argc, char** argv) {
     dyn.insert({join.uniform(window.lo.x, window.hi.x), join.uniform(window.lo.y, window.hi.y)});
   }
   step_timer.reset();
-  const EpochRefreshStats r2 = engine.refresh();
+  const EpochRefreshStats r2 = refresh_span();
   const double refresh2_ms = step_timer.millis();
   snap_ok = engine.graph().edge_list() == dyn.overlay().edge_list();
   refresh_t.add_row({"rejoin wave (15%)", Table::fmt_int(static_cast<long long>(r2.generation)),
@@ -304,7 +315,7 @@ int main(int argc, char** argv) {
     q.src = static_cast<std::uint32_t>(qdraw2.uniform_index(dyn.size()));
     q.dst = static_cast<std::uint32_t>(qdraw2.uniform_index(dyn.size()));
   }
-  const EpochServeStats rejoin = engine.serve(queries, out, verdicts);
+  const EpochServeStats rejoin = serve_span();
   bad = soundness_violations(engine, queries, out, verdicts);
   total_violations += bad;
   verdict_row(serve_t, "post-rejoin (fresh queries)", dyn.size(), rejoin, bad);

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Assert that the compiled-in obs instrumentation (DESIGN.md §2.10) costs
+# less than 2% of hot-path wall clock versus a SENS_OBS=OFF build.
+#
+# Usage: check_obs_overhead.sh <bench_instrumented> <bench_compiled_out> [reps]
+#
+# Both binaries are run `reps` times, interleaved so drift (thermal, cache,
+# noisy neighbors) hits both arms alike, at --threads 1 so the measurement is
+# the kernel loops and not the pool scheduler. The minimum elapsed per arm is
+# the estimate — min-of-N is the standard noise floor for wall-clock gates.
+# A small absolute grace (50 ms) keeps sub-second jitter from failing runs
+# where the relative bound is far below the timer noise.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <bench_instrumented> <bench_compiled_out> [reps]" >&2
+  exit 2
+fi
+on=$1
+off=$2
+reps=${3:-5}
+
+elapsed() {
+  # The uniform [obs] footer line: "[obs] elapsed: 2.06 s"
+  "$1" --threads 1 | sed -n 's/^\[obs\] elapsed: \([0-9.]*\) s$/\1/p'
+}
+
+min_on=""
+min_off=""
+for _ in $(seq "$reps"); do
+  t_on=$(elapsed "$on")
+  t_off=$(elapsed "$off")
+  if [ -z "$t_on" ] || [ -z "$t_off" ]; then
+    echo "error: no '[obs] elapsed:' line in bench output" >&2
+    exit 2
+  fi
+  min_on=$(awk -v a="${min_on:-$t_on}" -v b="$t_on" 'BEGIN { print (a < b) ? a : b }')
+  min_off=$(awk -v a="${min_off:-$t_off}" -v b="$t_off" 'BEGIN { print (a < b) ? a : b }')
+done
+
+echo "instrumented (SENS_OBS=ON):  min ${min_on} s over ${reps} runs"
+echo "compiled out (SENS_OBS=OFF): min ${min_off} s over ${reps} runs"
+awk -v on="$min_on" -v off="$min_off" 'BEGIN {
+  ratio = off > 0 ? on / off : 1
+  printf "ratio: %.4f (bound 1.02)\n", ratio
+  exit (on <= off * 1.02 + 0.05) ? 0 : 1
+}' || {
+  echo "error: instrumentation overhead exceeds 2% (DESIGN.md §2.10 bound)" >&2
+  exit 1
+}

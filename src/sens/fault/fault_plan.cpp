@@ -1,6 +1,7 @@
 #include "sens/fault/fault_plan.hpp"
 
 #include "sens/graph/flat_adjacency.hpp"
+#include "sens/obs/obs.hpp"
 #include "sens/support/checked.hpp"
 #include "sens/support/parallel.hpp"
 
@@ -84,6 +85,12 @@ FaultedGraph apply_faults(const GeoGraph& geo, const FaultInjector& injector) {
       });
   out.edges_lost_endpoint = lost.endpoint;
   out.edges_lost_link = lost.link;
+  // Casualty tallies are pure functions of (plan, deployment) — the alive
+  // mask and link draws are per-entity seeded — so the obs totals stay
+  // thread-invariant (DESIGN.md §2.10).
+  SENS_OBS(obs::add(obs::Counter::kFaultNodesFailed, out.nodes_failed);)
+  SENS_OBS(obs::add(obs::Counter::kFaultEdgesLostEndpoint, out.edges_lost_endpoint);)
+  SENS_OBS(obs::add(obs::Counter::kFaultEdgesLostLink, out.edges_lost_link);)
   return out;
 }
 

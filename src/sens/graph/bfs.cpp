@@ -1,5 +1,6 @@
 #include "sens/graph/bfs.hpp"
 
+#include "sens/obs/obs.hpp"
 #include "sens/support/parallel.hpp"
 #include "sens/support/scratch_pool.hpp"
 
@@ -14,10 +15,21 @@ constexpr std::uint32_t kNoTarget = 0xffffffffu;
 /// Returns true when the target was reached.
 bool bfs_run(const CsrGraph& g, std::uint32_t source, BfsScratch& s,
              std::uint32_t target = kNoTarget) {
+  // Stack-local tally, flushed once per run on every exit path; per-source
+  // visit counts are pure functions of (graph, source, target), so the
+  // registry totals are thread-invariant (DESIGN.md §2.10).
+  SENS_OBS(struct ObsTally {
+    std::uint64_t visits = 0;
+    ~ObsTally() {
+      obs::add(obs::Counter::kBfsRuns, 1);
+      obs::add(obs::Counter::kBfsVisits, visits);
+    }
+  } obs_tally;)
   s.prepare(g.num_vertices());
   s.dist[source] = 0;
   s.parent[source] = source;
   s.stamp[source] = s.epoch;
+  SENS_OBS(++obs_tally.visits;)
   if (source == target) return true;
   s.queue.push_back(source);
   std::size_t head = 0;
@@ -29,6 +41,7 @@ bool bfs_run(const CsrGraph& g, std::uint32_t source, BfsScratch& s,
       s.dist[v] = du + 1;
       s.parent[v] = u;
       s.stamp[v] = s.epoch;
+      SENS_OBS(++obs_tally.visits;)
       if (v == target) return true;
       s.queue.push_back(v);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sens/graph/dijkstra.hpp"
+#include "sens/obs/obs.hpp"
 #include "sens/rng/rng.hpp"
 #include "sens/support/parallel.hpp"
 #include "sens/support/scratch_pool.hpp"
@@ -42,6 +43,7 @@ EpochRefreshStats EpochQueryEngine::refresh() {
     // path is gone, take a fresh snapshot instead of failing.
     graph_ = dyn_->overlay();
     stats.resynced = true;
+    SENS_OBS(obs::add(obs::Counter::kEpochResyncs, 1);)
   } else {
     // Replay the maintainer's own apply_edge_delta calls (§2.9): our
     // snapshot was bit-equal at generation_, so it is bit-equal at target.
@@ -50,6 +52,7 @@ EpochRefreshStats EpochQueryEngine::refresh() {
       graph_ = CsrGraph::apply_edge_delta(graph_, d.n_new, d.removed, d.added);
       ++stats.deltas_applied;
     }
+    SENS_OBS(obs::add(obs::Counter::kEpochJournalReplays, stats.deltas_applied);)
   }
   generation_ = target;
   points_.assign(dyn_->points().begin(), dyn_->points().end());

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "sens/obs/obs.hpp"
 #include "sens/support/parallel.hpp"
 #include "sens/support/scratch_pool.hpp"
 
@@ -32,12 +33,21 @@ double QueryEngine::estimate_distance(Query q, RouteScratch& scratch, ServeStats
   // The bracket certifies when it is exact (s == t, disconnected pairs:
   // lower == upper, infinities included) or tight enough for the stretch
   // budget. `lower > 0` guards the ratio test against a zero lower bound.
+  double answer;
   if (b.lower == b.upper || (b.lower > 0.0 && b.upper <= max_stretch_ * b.lower)) {
     ++stats.certified;
-    return b.upper;
+    SENS_OBS(obs::add(obs::Counter::kOracleCertified, 1);)
+    answer = b.upper;
+  } else {
+    ++stats.exact;
+    SENS_OBS(obs::add(obs::Counter::kOracleFallback, 1);)
+    answer = dijkstra_cost(*g_, q.src, q.dst, weights_, scratch.dijkstra);
   }
-  ++stats.exact;
-  return dijkstra_cost(*g_, q.src, q.dst, weights_, scratch.dijkstra);
+  if (answer >= kInfCost) {
+    ++stats.disconnected;
+    SENS_OBS(obs::add(obs::Counter::kOracleDisconnected, 1);)
+  }
+  return answer;
 }
 
 ServeStats QueryEngine::estimate_distances(std::span<const Query> queries,

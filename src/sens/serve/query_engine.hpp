@@ -47,13 +47,17 @@ struct Query {
 /// sums over queries, so they are deterministic at any thread count.
 struct ServeStats {
   std::size_t queries = 0;
-  std::size_t certified = 0;  ///< answered from the oracle bracket alone
-  std::size_t exact = 0;      ///< answered by an exact Dijkstra run
+  std::size_t certified = 0;     ///< answered from the oracle bracket alone
+  std::size_t exact = 0;         ///< answered by an exact Dijkstra run
+  std::size_t disconnected = 0;  ///< answers that came back kInfCost
+                                 ///  (overlaps certified/exact: a verdict on
+                                 ///  the answer, not a third path)
 
   ServeStats& operator+=(const ServeStats& o) {
     queries += o.queries;
     certified += o.certified;
     exact += o.exact;
+    disconnected += o.disconnected;
     return *this;
   }
 };

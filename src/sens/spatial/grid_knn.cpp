@@ -6,10 +6,28 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "sens/obs/obs.hpp"
+
 namespace sens {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+#if SENS_OBS_ENABLED
+/// Stack-local work tally for one k-NN query, flushed to the obs registry
+/// on scope exit. Per-query cell/candidate counts are pure functions of
+/// (index contents, query), so registry totals are thread-invariant
+/// (DESIGN.md §2.10).
+struct ObsTally {
+  std::uint64_t cells = 0;
+  std::uint64_t candidates = 0;
+  ~ObsTally() {
+    obs::add(obs::Counter::kGridKnnQueries, 1);
+    obs::add(obs::Counter::kGridKnnCellsScanned, cells);
+    obs::add(obs::Counter::kGridKnnCandidates, candidates);
+  }
+};
+#endif
 
 /// Final prune + sort shared by collect_large's exits: keep the k best
 /// under the strict (d2, idx) order, sorted.
@@ -167,8 +185,10 @@ std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
                                    QueryScratch::Candidate* best) const {
   std::size_t cnt = 0;
   double worst = kInf;
+  SENS_OBS(ObsTally obs_tally;)
 
   auto offer = [&](std::uint32_t idx) {
+    SENS_OBS(++obs_tally.candidates;)
     const double dx = points_[idx].x - q.x;
     const double dy = points_[idx].y - q.y;
     const double d2 = dx * dx + dy * dy;
@@ -208,6 +228,7 @@ std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
     xa = std::max(xa, 0L);
     xb = std::min(xb, nx_ - 1);
     if (xa > xb) return;
+    SENS_OBS(obs_tally.cells += static_cast<std::uint64_t>(xb - xa + 1);)
     const std::size_t base = static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_);
     const std::uint32_t t0 = offsets_[base + static_cast<std::size_t>(xa)];
     const std::uint32_t t1 = offsets_[base + static_cast<std::size_t>(xb) + 1];
@@ -225,6 +246,7 @@ std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
     const double gy = std::max({0.0, lo_.y + static_cast<double>(y) * cell_ - q.y,
                                 q.y - (lo_.y + static_cast<double>(y + 1) * cell_)});
     if (gx * gx + gy * gy > worst) return;
+    SENS_OBS(++obs_tally.cells;)
     const std::size_t c =
         static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) + static_cast<std::size_t>(x);
     for (std::uint32_t t = offsets_[c]; t < offsets_[c + 1]; ++t) {
@@ -270,8 +292,10 @@ std::size_t GridKnn::collect_small(Vec2 q, std::size_t k, std::uint32_t exclude,
 void GridKnn::collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
                             std::vector<QueryScratch::Candidate>& cands) const {
   double worst = kInf;
+  SENS_OBS(ObsTally obs_tally;)
 
   auto consider = [&](std::uint32_t idx) {
+    SENS_OBS(++obs_tally.candidates;)
     if (idx == exclude) return;
     const double dx = points_[idx].x - q.x;
     const double dy = points_[idx].y - q.y;
@@ -301,6 +325,7 @@ void GridKnn::collect_large(Vec2 q, std::size_t k, std::uint32_t exclude,
     const double gy = std::max({0.0, lo_.y + static_cast<double>(y) * cell_ - q.y,
                                 q.y - (lo_.y + static_cast<double>(y + 1) * cell_)});
     if (gx * gx + gy * gy > worst) return;
+    SENS_OBS(++obs_tally.cells;)
     const std::size_t c =
         static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) + static_cast<std::size_t>(x);
     for (std::uint32_t t = offsets_[c]; t < offsets_[c + 1]; ++t) {

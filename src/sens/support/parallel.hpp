@@ -36,6 +36,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -50,6 +51,18 @@ namespace sens {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
 }
+
+/// Pool utilization tallies since process start. Scheduling-dependent
+/// (helpers claim tickets as they get scheduled), so this is a *timing
+/// observable* (DESIGN.md §2.10): stdout-only in bench footers, never
+/// `--json`. Maintained unconditionally — all three counters move once per
+/// parallel call (under a lock already held, or one relaxed add), never per
+/// index, so the cost is unmeasurable.
+struct PoolStats {
+  std::uint64_t jobs = 0;           ///< top-level calls that engaged the pool
+  std::uint64_t helper_claims = 0;  ///< helper tickets actually claimed
+  std::uint64_t inline_calls = 0;   ///< calls that ran serial (want<=1 or nested)
+};
 
 namespace detail {
 
@@ -164,6 +177,7 @@ class WorkerPool {
       job.tickets = helpers;
       job.active = 0;
       jobs_.push_back(&job);
+      ++stat_jobs_;
     }
     cv_.notify_all();
     job.work();  // the caller is always a participant in its own job
@@ -178,6 +192,13 @@ class WorkerPool {
     // Helpers' writes into caller-visible buffers happened before they
     // released mutex_ (decrementing job.active under the lock), and the
     // caller holds mutex_ here — the join is a proper happens-before edge.
+  }
+
+  /// Jobs run and helper tickets claimed so far (PoolStats minus the
+  /// inline-call tally, which lives outside the pool).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> stat_counts() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {stat_jobs_, stat_helper_claims_};
   }
 
  private:
@@ -213,6 +234,7 @@ class WorkerPool {
       if (stop_) return;
       --job->tickets;
       ++job->active;
+      ++stat_helper_claims_;
       lock.unlock();
       job->work();
       lock.lock();
@@ -228,7 +250,16 @@ class WorkerPool {
   std::vector<std::thread> threads_;
   std::vector<ParallelJob*> jobs_;  ///< concurrently active top-level calls
   bool stop_ = false;
+  std::uint64_t stat_jobs_ = 0;           ///< guarded by mutex_
+  std::uint64_t stat_helper_claims_ = 0;  ///< guarded by mutex_
 };
+
+/// Serial parallel_* invocations (want<=1 or nested) never reach the pool;
+/// tallied here for PoolStats.
+inline std::atomic<std::uint64_t>& inline_call_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
 
 /// Shared driver: dispatch [0, n) in chunks to `fn(ctx, begin, end)`.
 /// Serial path (single participant or nested call) walks the same chunk
@@ -244,6 +275,7 @@ inline void run_chunked(std::size_t n, ParallelJob::ChunkFn fn, void* ctx) {
     want = chunks < cap ? static_cast<unsigned>(chunks) : cap;
   }
   if (want <= 1 || in_parallel_region()) {
+    inline_call_count().fetch_add(1, std::memory_order_relaxed);
     const RegionGuard region;
     for (std::size_t begin = 0; begin < n; begin += chunk) {
       fn(ctx, begin, begin + chunk < n ? begin + chunk : n);
@@ -292,6 +324,16 @@ inline void set_thread_count(unsigned n) {
 [[nodiscard]] inline unsigned thread_count() {
   const unsigned n = detail::thread_override().load(std::memory_order_relaxed);
   return n == 0 ? default_thread_count() : n;
+}
+
+/// Snapshot of pool utilization since process start (see PoolStats).
+[[nodiscard]] inline PoolStats pool_stats() {
+  PoolStats out;
+  const auto [jobs, claims] = detail::WorkerPool::instance().stat_counts();
+  out.jobs = jobs;
+  out.helper_claims = claims;
+  out.inline_calls = detail::inline_call_count().load(std::memory_order_relaxed);
+  return out;
 }
 
 /// Invoke `body(i)` for every i in [0, n). Order is unspecified; the call

@@ -1,7 +1,13 @@
-// Wall-clock stopwatch for experiment reporting.
+// Wall-clock stopwatch and span timing for experiment reporting. Everything
+// here reads std::chrono::steady_clock — never the wall clock — so elapsed
+// times and spans are monotonic and immune to NTP adjustments. Timing is an
+// observability class of its own (DESIGN.md §2.10): machine-dependent, so
+// it goes to stdout/trace files only, never into bench `--json`.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 
 namespace sens {
 
@@ -20,6 +26,61 @@ class Timer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Monotonic nanosecond timestamp (steady_clock epoch — comparable within
+/// a process, meaningless across processes).
+[[nodiscard]] inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Process-wide sink for completed spans: (name, begin_ns, end_ns).
+/// support/ cannot depend on obs/, so the collector (obs::TraceLog)
+/// installs itself through this hook; when no sink is installed ScopedSpan
+/// costs one relaxed atomic load.
+using SpanSinkFn = void (*)(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+
+namespace detail {
+inline std::atomic<SpanSinkFn>& span_sink_slot() {
+  static std::atomic<SpanSinkFn> sink{nullptr};
+  return sink;
+}
+}  // namespace detail
+
+inline void set_span_sink(SpanSinkFn sink) {
+  detail::span_sink_slot().store(sink, std::memory_order_release);
+}
+
+/// RAII phase timer: records [construction, destruction) to the installed
+/// span sink. `name` must outlive the span (string literals in practice).
+/// Safe on any thread; benches use it to bracket build/reorder/serve/repair
+/// phases for the `[obs]` footer and `--trace` export.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(name) {
+    if (detail::span_sink_slot().load(std::memory_order_acquire) != nullptr) {
+      begin_ns_ = monotonic_ns();
+      armed_ = true;
+    }
+  }
+
+  ~ScopedSpan() {
+    if (!armed_) return;
+    if (const SpanSinkFn sink = detail::span_sink_slot().load(std::memory_order_acquire)) {
+      sink(name_, begin_ns_, monotonic_ns());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t begin_ns_ = 0;
+  bool armed_ = false;
 };
 
 }  // namespace sens
